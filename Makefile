@@ -1,0 +1,31 @@
+# Convenience targets for the psbox reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper figure/table without pytest.
+figures:
+	$(PYTHON) -m repro.experiments all
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/entanglement_tour.py
+	$(PYTHON) examples/fairness_confinement.py
+	$(PYTHON) examples/vr_adaptive_rendering.py
+	$(PYTHON) examples/offload_decision.py
+	$(PYTHON) examples/power_events.py
+	$(PYTHON) examples/sidechannel_attack.py 1
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

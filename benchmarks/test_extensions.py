@@ -1,0 +1,147 @@
+"""Benches for the §7/§8 extensions: display, GPS, LTE, model metering."""
+
+from repro.accounting import LinearPowerModel, PixelAccounting
+from repro.analysis.report import format_table
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.actions import (
+    AcquireGps,
+    Compute,
+    ReleaseGps,
+    SendPacket,
+    Sleep,
+    UpdateSurface,
+)
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC, from_msec, from_usec
+
+from benchmarks.conftest import report
+
+
+def test_display_and_gps_extensions(benchmark):
+    def run():
+        platform = Platform.extended(seed=3)
+        kernel = Kernel(platform)
+        ui = App(kernel, "ui")
+        nav = App(kernel, "nav")
+
+        def ui_behavior():
+            yield UpdateSurface(0.6, 0.9)
+            yield Sleep(SEC)
+
+        def nav_behavior():
+            yield UpdateSurface(0.2, 0.4)
+            yield AcquireGps()
+            yield Sleep(SEC)
+            yield ReleaseGps()
+
+        ui.spawn(ui_behavior())
+        nav.spawn(nav_behavior())
+        ui_box = ui.create_psbox(("display",))
+        nav_box = nav.create_psbox(("display", "gps"))
+        ui_box.enter()
+        nav_box.enter()
+        platform.sim.run(until=int(1.2 * SEC))
+        pixel = PixelAccounting(platform)
+        shares = pixel.energies([ui.id, nav.id], 0, SEC)
+        return {
+            "ui_psbox_mJ": ui_box.vmeter.energy(0, SEC, "display") * 1000,
+            "ui_pixel_mJ": shares[ui.id] * 1000,
+            "nav_display_mJ": nav_box.vmeter.energy(0, SEC, "display") * 1000,
+            "nav_gps_mJ": nav_box.vmeter.energy(0, SEC, "gps") * 1000,
+            "gps_rail_mJ": platform.meter.energy("gps", 0, SEC) * 1000,
+        }
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["quantity", "mJ"],
+        [[k, "{:.1f}".format(v)] for k, v in values.items()],
+        title="Display (exact pixel division) and GPS (operating-state-"
+              "gated reveal) — paper §7 items 1 and 2",
+    )
+    report("EXT-DISPLAY-GPS", text)
+    # Display: psbox == pixel accounting exactly (no entanglement).
+    assert abs(values["ui_psbox_mJ"] - values["ui_pixel_mJ"]) < 1e-6
+    # GPS: the cold start is hidden, so the psbox sees less than the rail.
+    assert values["nav_gps_mJ"] < values["gps_rail_mJ"]
+
+
+def test_lte_negative_result(benchmark):
+    def drift(device):
+        def run(with_noise):
+            platform = Platform.extended(seed=6)
+            kernel = Kernel(platform)
+            app = App(kernel, "main")
+
+            def behavior():
+                for _ in range(5):
+                    yield SendPacket(20_000, wait=True, device=device)
+                    yield Sleep(from_msec(1100))
+
+            app.spawn(behavior())
+            box = app.create_psbox((device,))
+            box.enter()
+            if with_noise:
+                noise = App(kernel, "noise")
+
+                def noisy():
+                    while True:
+                        yield SendPacket(30_000, wait=True, device=device)
+
+                noise.spawn(noisy())
+            platform.sim.run(until=20 * SEC)
+            return box.vmeter.energy(0, app.finished_at)
+
+        alone = run(False)
+        corun = run(True)
+        return 100.0 * abs(corun - alone) / alone
+
+    def sweep():
+        return {"wifi": drift("wifi"), "lte": drift("lte")}
+
+    drifts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["radio", "psbox energy drift under co-run"],
+        [[name, "{:.1f}%".format(value)] for name, value in drifts.items()],
+        title="Cellular negative result (§7 item 3): RRC states are not "
+              "OS-controllable, so LTE insulation is weaker than WiFi's",
+    )
+    report("EXT-LTE-NEGATIVE", text)
+    assert drifts["lte"] > drifts["wifi"]
+
+
+def test_model_metering_limits(benchmark):
+    def run():
+        platform = Platform.am57(seed=9)
+        kernel = Kernel(platform)
+        app = App(kernel, "rampy")
+
+        def behavior():
+            for _ in range(300):
+                yield Compute(0.4e6)
+                yield Sleep(from_usec(2500))
+            while True:
+                yield Compute(5e6)
+                yield Sleep(from_usec(100))
+
+        app.spawn(behavior())
+        platform.sim.run(until=3 * SEC)
+        ids = [app.id]
+        model = LinearPowerModel(platform, "cpu").fit(ids, 0, SEC)
+        return {
+            "in-distribution (light phase)":
+                model.mean_power_error_pct(ids, 200 * MSEC, 800 * MSEC),
+            "out-of-distribution (heavy phase)":
+                model.mean_power_error_pct(ids, 2 * SEC, 3 * SEC),
+        }
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["workload phase", "linear-model mean power error"],
+        [[k, "{:.1f}%".format(v)] for k, v in errors.items()],
+        title="Model-based metering (§2.2): utilization features miss "
+              "DVFS-driven power, so models break out of distribution",
+    )
+    report("EXT-MODEL-METERING", text)
+    assert errors["out-of-distribution (heavy phase)"] > \
+        errors["in-distribution (light phase)"]

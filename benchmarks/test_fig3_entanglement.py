@@ -1,0 +1,68 @@
+"""Figure 3: the three causes of power entanglement."""
+
+from repro.analysis.report import format_series, format_table
+from repro.experiments.fig3 import (
+    run_fig3a_spatial,
+    run_fig3b_requests,
+    run_fig3c_lingering,
+)
+
+from benchmarks.conftest import report
+
+
+def test_fig3a_spatial_concurrency(benchmark):
+    result = benchmark.pedantic(run_fig3a_spatial, rounds=1, iterations=1)
+    text = "\n".join([
+        format_table(
+            ["series", "mean W"],
+            [
+                ["2 instances (one per core)", "{:.2f}".format(result.mean_two)],
+                ["1 instance doubled", "{:.2f}".format(result.mean_one_doubled)],
+            ],
+            title="CPU power: co-run vs extrapolated (paper Fig 3a)",
+        ),
+        "doubling overestimates by {:+.0f}% — power does not compose "
+        "across cores".format(result.overestimate_pct),
+        format_series(result.watts_two_instances, label="2 instances W"),
+        format_series(result.watts_one_doubled, label="1x2 doubled  W"),
+    ])
+    report("FIG3A spatial concurrency entanglement", text)
+    assert result.overestimate_pct > 10
+
+
+def test_fig3b_blurry_request_boundary(benchmark):
+    result = benchmark.pedantic(run_fig3b_requests, rounds=1, iterations=1)
+    rows = [
+        [str(seq), kind, "{:.1f}".format(d / 1e6),
+         "{:.1f}".format(n / 1e6)]
+        for seq, kind, d, n in result.commands
+    ]
+    text = "\n".join([
+        format_table(["cmd", "kind", "dispatch ms", "notify ms"], rows,
+                     title="Three GPU commands (paper Fig 3b)"),
+        "commands 1 and 2 overlap for {:.1f} ms; their power impacts are "
+        "inseparable".format(result.overlap_ns / 1e6),
+        format_series(result.watts, label="GPU W"),
+    ])
+    report("FIG3B blurry request boundaries", text)
+    assert result.overlap_ns > 1e6
+
+
+def test_fig3c_lingering_power_state(benchmark):
+    result = benchmark.pedantic(run_fig3c_lingering, rounds=1, iterations=1)
+    text = "\n".join([
+        format_table(
+            ["scenario", "mean W"],
+            [
+                ["exec after idle", "{:.2f}".format(result.mean_after_idle)],
+                ["exec after busy", "{:.2f}".format(result.mean_after_busy)],
+            ],
+            title="Same app, different DVFS history (paper Fig 3c)",
+        ),
+        "lingering state changes power by {:+.0f}%".format(
+            result.lingering_pct),
+        format_series(result.watts_after_idle, label="after idle W"),
+        format_series(result.watts_after_busy, label="after busy W"),
+    ])
+    report("FIG3C lingering power state", text)
+    assert result.lingering_pct > 10

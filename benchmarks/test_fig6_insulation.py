@@ -1,0 +1,62 @@
+"""Figure 6 + §6.1 headline: elimination of power entanglement.
+
+For each hardware component: the app's psbox-observed energy stays
+consistent across co-runners (paper: <5% in most sets) while the existing
+per-sample accounting drifts by tens of percent (paper: up to 60%).
+"""
+
+import pytest
+
+from repro.analysis.report import format_series, format_table
+from repro.experiments.fig6 import run_fig6_row
+
+from benchmarks.conftest import report
+
+#: loose per-row ceilings for the psbox delta and floors for the baseline
+#: (shape assertions, not absolute-number matching).
+ROW_LIMITS = {
+    "cpu": (8.0, 5.0),
+    "dsp": (10.0, 10.0),
+    "gpu": (8.0, 15.0),
+    "wifi": (12.0, 10.0),
+}
+
+
+@pytest.mark.parametrize("component", ["cpu", "dsp", "gpu", "wifi"])
+def test_fig6_row(component, benchmark):
+    row = benchmark.pedantic(run_fig6_row, args=(component,),
+                             kwargs={"keep_traces": True},
+                             rounds=1, iterations=1)
+    rows = [["alone (psbox)", "{:.0f}".format(row.alone.energy_j * 1000),
+             "--", "{:.2f}s".format(row.alone.duration_s)]]
+    for cell in row.psbox_cells:
+        rows.append(["psbox {}".format(cell.label),
+                     "{:.0f}".format(cell.energy_j * 1000),
+                     "{:+.1f}%".format(cell.delta_pct),
+                     "{:.2f}s".format(cell.duration_s)])
+    for cell in row.baseline_cells:
+        rows.append(["existing {}".format(cell.label),
+                     "{:.0f}".format(cell.energy_j * 1000),
+                     "{:+.1f}%".format(cell.delta_pct),
+                     "{:.2f}s".format(cell.duration_s)])
+    text = format_table(
+        ["scenario", "energy mJ", "delta vs alone", "duration"], rows,
+        title="{} row of Figure 6".format(component.upper()),
+    )
+    text += (
+        "\nrow max |delta|: psbox {:.1f}% vs existing approach {:.1f}%"
+        .format(row.max_psbox_delta, row.max_baseline_delta)
+    )
+    traces = [("alone (psbox)", row.alone)]
+    traces += [("psbox " + c.label, c) for c in row.psbox_cells]
+    traces += [("existing " + c.label, c) for c in row.baseline_cells]
+    for label, cell in traces:
+        if cell.watts is not None and len(cell.watts):
+            text += "\n" + format_series(
+                cell.watts, label="{:<22}(W)".format(label))
+    report("FIG6-{} insulation".format(component.upper()), text)
+
+    psbox_limit, baseline_floor = ROW_LIMITS[component]
+    assert row.max_psbox_delta < psbox_limit
+    assert row.max_baseline_delta > baseline_floor
+    assert row.max_psbox_delta < row.max_baseline_delta

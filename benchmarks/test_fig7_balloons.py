@@ -1,0 +1,116 @@
+"""Figure 7: resource multiplexing with and without balloons."""
+
+from repro.analysis.report import format_series, format_table
+from repro.experiments.fig7 import (
+    run_fig7_cpu,
+    run_fig7_dsp,
+    run_fig7_gpu,
+    run_fig7_wifi,
+)
+from repro.sim.clock import SEC
+
+from benchmarks.conftest import report
+
+
+def test_fig7_cpu_spatial_balloons(benchmark):
+    with_box = benchmark.pedantic(run_fig7_cpu, kwargs={"use_psbox": True},
+                                  rounds=1, iterations=1)
+    without = run_fig7_cpu(use_psbox=False)
+    duration = 2 * SEC
+    rows = []
+    for label, result in (("w/o psbox", without), ("w/ psbox", with_box)):
+        idle = [0, 0]
+        for core, segments in enumerate(result.core_owner_segments):
+            idle[core] = sum(t1 - t0 for t0, t1, o in segments if o == -1)
+        rows.append([
+            label,
+            str(len(result.windows)),
+            "{:.0f}".format(result.forced_idle_ns / 1e6),
+            "{:.0f}/{:.0f}".format(idle[0] / 1e6, idle[1] / 1e6),
+            "{:.2f}".format(result.watts.mean()),
+        ])
+    text = "\n".join([
+        format_table(
+            ["scenario", "balloons", "forced idle ms", "core idle ms",
+             "mean W"],
+            rows,
+            title="Dual-core CPU multiplexing, calib3d* + bodytrack "
+                  "(paper Fig 7a/b)",
+        ),
+        format_series(without.watts, label="w/o psbox W"),
+        format_series(with_box.watts, label="w/  psbox W"),
+    ])
+    report("FIG7-CPU spatial balloons", text)
+    assert with_box.forced_idle_ns > 0
+    assert without.forced_idle_ns == 0 or not without.windows
+
+
+def test_fig7_dsp_temporal_balloons(benchmark):
+    with_box = benchmark.pedantic(run_fig7_dsp, kwargs={"use_psbox": True},
+                                  rounds=1, iterations=1)
+    without = run_fig7_dsp(use_psbox=False)
+
+    def cross_app_overlap(result):
+        overlap = 0
+        for i, (app_a, _k, a0, a1) in enumerate(result.commands):
+            for app_b, _k2, b0, b1 in result.commands[i + 1:]:
+                if app_a != app_b:
+                    overlap += max(0, min(a1, b1) - max(a0, b0))
+        return overlap
+
+    rows = [
+        ["w/o psbox", str(len(without.commands)),
+         "{:.0f}".format(cross_app_overlap(without) / 1e6), "--"],
+        ["w/ psbox", str(len(with_box.commands)),
+         "{:.0f}".format(cross_app_overlap(with_box) / 1e6),
+         "{:.1f}".format(with_box.foreign_overlap_ns / 1e6)],
+    ]
+    text = "\n".join([
+        format_table(
+            ["scenario", "commands", "cross-app overlap ms",
+             "foreign-in-window ms"],
+            rows,
+            title="DSP command timeline, dgemm* + sgemm + monte "
+                  "(paper Fig 7c/d)",
+        ),
+        format_series(without.watts, label="w/o psbox W"),
+        format_series(with_box.watts, label="w/  psbox W"),
+    ])
+    report("FIG7-DSP temporal balloons", text)
+    assert cross_app_overlap(without) > 0
+    assert with_box.foreign_overlap_ns == 0
+
+
+def test_fig7_gpu_and_wifi_extension(benchmark):
+    """Beyond the paper's panels: the boundary invariant on GPU and WiFi."""
+
+    def sweep():
+        return {
+            "gpu": (run_fig7_gpu(use_psbox=True),
+                    run_fig7_gpu(use_psbox=False)),
+            "wifi": (run_fig7_wifi(use_psbox=True),
+                     run_fig7_wifi(use_psbox=False)),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for comp, (with_box, without) in results.items():
+        overlap_free = 0
+        for i, (app_a, _k, a0, a1) in enumerate(without.commands):
+            for app_b, _k2, b0, b1 in without.commands[i + 1:]:
+                if app_a != app_b:
+                    overlap_free += max(0, min(a1, b1) - max(a0, b0))
+        rows.append([comp, str(len(with_box.windows)),
+                     "{:.1f}".format(overlap_free / 1e6),
+                     "{:.1f}".format(with_box.foreign_overlap_ns / 1e6)])
+    text = format_table(
+        ["component", "balloons", "free cross-app overlap ms",
+         "foreign-in-window ms"],
+        rows,
+        title="Balloon boundary detail on GPU and WiFi (extension of "
+              "paper Fig 7)",
+    )
+    report("FIG7-EXT gpu+wifi balloons", text)
+    for comp, (with_box, _without) in results.items():
+        assert with_box.windows, comp
+        assert with_box.foreign_overlap_ns == 0, comp

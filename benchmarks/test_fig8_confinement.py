@@ -1,0 +1,40 @@
+"""Figure 8: confinement of throughput loss to the sandboxed app."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.experiments.fig8 import run_fig8
+
+from benchmarks.conftest import report
+
+UNITS = {"cpu": "KB/s", "dsp": "GFLOPS", "gpu": "cmds/s", "wifi": "KB/s"}
+PHASES = {"cpu": 2.0, "dsp": 4.0, "gpu": 2.0, "wifi": 2.5}
+
+
+@pytest.mark.parametrize("component", ["cpu", "dsp", "gpu", "wifi"])
+def test_fig8_panel(component, benchmark):
+    result = benchmark.pedantic(
+        run_fig8, args=(component,), kwargs={"phase_s": PHASES[component]},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [i.name + ("*" if i.sandboxed else ""),
+         "{:.1f}".format(i.before), "{:.1f}".format(i.after),
+         "{:+.1f}%".format(-i.loss_pct)]
+        for i in result.instances
+    ]
+    text = format_table(
+        ["instance", "before " + UNITS[component],
+         "after " + UNITS[component], "change"],
+        rows,
+        title="{}: throughput before/after * enters psbox (paper Fig 8)"
+        .format(component.upper()),
+    )
+    text += "\ntotal hardware throughput loss: {:.1f}%".format(
+        result.total_loss_pct)
+    report("FIG8-{} confinement".format(component.upper()), text)
+
+    # Shape: the sandboxed instance carries the loss; others stay put.
+    max_other = max((o.loss_pct for o in result.others), default=0.0)
+    assert result.sandboxed.loss_pct > max_other
+    assert max_other < 16

@@ -1,0 +1,36 @@
+"""Figure 9 / §6.4: the power-aware VR app."""
+
+from repro.analysis.report import format_series, format_table
+from repro.experiments.fig9 import fidelity_power_span, run_fig9
+
+from benchmarks.conftest import report
+
+
+def test_fig9_vr_adaptation(benchmark):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    low, high = fidelity_power_span()
+    rows = [
+        ["{:.2f}".format(budget), "{:.3f}".format(observed), str(level)]
+        for budget, observed, level in zip(
+            result.budgets_w, result.observed_w, result.fidelity
+        )
+    ]
+    text = "\n".join([
+        format_table(
+            ["budget W", "observed W (psbox)", "steady fidelity"],
+            rows,
+            title="Rendering adapts fidelity to its insulated power "
+                  "(paper Fig 9 / §6.4)",
+        ),
+        "open-loop fidelity power span: {:.0f} mW .. {:.0f} mW = {:.1f}x "
+        "(paper: 90..800 mW = 8.9x)".format(low * 1000, high * 1000,
+                                            high / low),
+        format_series(result.rendering_watts,
+                      label="rendering (in psbox) W"),
+        format_series(result.total_watts, label="total CPU rail    W"),
+    ])
+    report("FIG9-VR power-aware adaptation", text)
+    assert high / low > 4
+    assert result.fidelity == sorted(result.fidelity)
+    for budget, observed in zip(result.budgets_w, result.observed_w):
+        assert observed < 1.6 * budget

@@ -1,0 +1,66 @@
+"""Microbenchmarks of the library's own machinery (multi-round timings)."""
+
+import numpy as np
+
+from repro.apps.cpu_apps import calib3d, dedup
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel
+from repro.sidechannel.dtw import dtw_distance
+from repro.sim.clock import MSEC, SEC, USEC
+from repro.sim.engine import Simulator
+from repro.sim.trace import StepTrace
+
+
+def test_bench_event_loop_throughput(benchmark):
+    def run():
+        sim = Simulator()
+
+        def ping():
+            sim.call_later(1000, ping)
+
+        ping()
+        sim.run(until=10 * MSEC)   # 10k chained events
+        return sim.now
+
+    benchmark(run)
+
+
+def test_bench_step_trace_resample(benchmark):
+    trace = StepTrace(0.0)
+    t = 0
+    rng = np.random.default_rng(0)
+    for _ in range(2000):
+        t += int(rng.integers(1000, 100_000))
+        trace.set(t, float(rng.random()))
+
+    benchmark(lambda: trace.resample(0, t, 10 * USEC))
+
+
+def test_bench_step_trace_integrate(benchmark):
+    trace = StepTrace(0.0)
+    t = 0
+    rng = np.random.default_rng(0)
+    for _ in range(2000):
+        t += int(rng.integers(1000, 100_000))
+        trace.set(t, float(rng.random()))
+
+    benchmark(lambda: trace.integrate(0, t))
+
+
+def test_bench_kernel_corun_simulation(benchmark):
+    def run():
+        platform = Platform.am57(seed=1)
+        kernel = Kernel(platform)
+        calib3d(kernel, iterations=20)
+        dedup(kernel, iterations=40)
+        platform.sim.run(until=SEC)
+        return platform.sim.now
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bench_dtw(benchmark):
+    rng = np.random.default_rng(1)
+    a = rng.normal(size=300)
+    b = rng.normal(size=300)
+    benchmark(lambda: dtw_distance(a, b, window=30))

@@ -1,0 +1,26 @@
+"""Section 6.3 robustness: extreme GPU contention."""
+
+from repro.analysis.report import format_table
+from repro.experiments.sec63 import run_sec63_robustness
+
+from benchmarks.conftest import report
+
+
+def test_sec63_extreme_contention(benchmark):
+    result = benchmark.pedantic(run_sec63_robustness, rounds=1, iterations=1)
+    text = format_table(
+        ["app", "before cmds/s", "after cmds/s", "change"],
+        [
+            ["browser (psbox)", "{:.1f}".format(result.browser_before),
+             "{:.1f}".format(result.browser_after),
+             "{:.1f}x slower".format(result.browser_slowdown)],
+            ["triangle", "{:.1f}".format(result.triangle_before),
+             "{:.1f}".format(result.triangle_after),
+             "{:+.1f}%".format(-result.triangle_loss_pct)],
+        ],
+        title="browser-in-psbox + saturating triangle (paper §6.3: "
+              "browser -4x, triangle -1%)",
+    )
+    report("SEC63-ROBUSTNESS", text)
+    assert result.browser_slowdown > 2.5
+    assert abs(result.triangle_loss_pct) < 5

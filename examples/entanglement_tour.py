@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""A guided tour of power entanglement (the paper's §2.3, Figure 3).
+
+Three short experiments show why dividing system power among apps is
+fundamentally lossy — no matter how fast you sample — and one final
+experiment shows the way out.
+
+Run:  python examples/entanglement_tour.py
+"""
+
+from repro.analysis.report import format_series
+from repro.experiments.fig3 import (
+    run_fig3a_spatial,
+    run_fig3b_requests,
+    run_fig3c_lingering,
+)
+
+
+def main():
+    print("1) SPATIAL CONCURRENCY — power does not compose across cores")
+    print("   Run one process on core 0, then add an identical one on "
+          "core 1:")
+    a = run_fig3a_spatial()
+    print(format_series(a.watts_two_instances,
+                        label="   two instances      (W)"))
+    print(format_series(a.watts_one_doubled,
+                        label="   one instance, x2   (W)"))
+    print("   Doubling the single-instance power overestimates reality by "
+          "{:+.0f}%:".format(a.overestimate_pct))
+    print("   static and uncore power are shared — there is no per-app "
+          "share to measure.\n")
+
+    print("2) BLURRY REQUEST BOUNDARIES — accelerators overlap requests")
+    b = run_fig3b_requests()
+    print(format_series(b.watts, label="   GPU power          (W)"))
+    print("   Commands 1 and 2 were in flight together for {:.1f} ms; "
+          "the rail shows\n   one entangled bump, not two attributable "
+          "ones.\n".format(b.overlap_ns / 1e6))
+
+    print("3) LINGERING POWER STATE — history changes the price of work")
+    c = run_fig3c_lingering()
+    print(format_series(c.watts_after_idle, label="   app after idle     (W)"))
+    print(format_series(c.watts_after_busy, label="   app after busy     (W)"))
+    print("   The same app costs {:+.0f}% more right after a busy period — "
+          "the DVFS\n   governor's state outlives the workload that set "
+          "it.\n".format(c.lingering_pct))
+
+    print("4) THE WAY OUT — don't divide: insulate")
+    print("   psbox gives an app exclusive, fine-grained resource balloons")
+    print("   and a virtual power meter, so what it observes is its own")
+    print("   power plus its vertical environment — reproducible, "
+          "reasoned-about,\n   and useless to eavesdroppers.  See "
+          "examples/quickstart.py.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Energy-aware offloading, decided by psbox probes (§2.1).
+
+"Comparative power drives actions": to choose between running a kernel on
+the CPU or offloading it to the DSP, the app measures both candidates'
+energy through its own power sandbox — insulated from whatever else the
+system is doing — and picks the cheaper one.  The decision flips with the
+problem size: offload overhead dominates small items, DSP efficiency wins
+on large ones.
+
+Run:  python examples/offload_decision.py
+"""
+
+from repro import Kernel, Platform
+from repro.apps.base import App
+from repro.kernel.actions import Compute, Sleep, SubmitAccel
+from repro.sim import MSEC, SEC, from_msec
+
+#: problem size -> (CPU cycles, DSP kernel cycles incl. marshalling)
+WORKLOADS = {
+    "small (64x64)": (2.0e6, 6.0e6),
+    "medium (256x256)": (30.0e6, 28.0e6),
+    "large (1024x1024)": (480.0e6, 210.0e6),
+}
+DSP_KERNEL_POWER = 0.6
+
+
+def probe(kernel_size, strategy, seed=23):
+    """Run one probe of ``strategy`` in a psbox; return joules per item."""
+    platform = Platform.full(seed=seed)
+    kernel = Kernel(platform)
+    app = App(kernel, "probe")
+    cpu_cycles, dsp_cycles = WORKLOADS[kernel_size]
+
+    def behavior():
+        if strategy == "cpu":
+            yield Compute(cpu_cycles)
+        else:
+            # Marshalling on the CPU, then the DSP kernel.
+            yield Compute(0.4e6)
+            yield SubmitAccel("dsp", "offload", dsp_cycles,
+                              DSP_KERNEL_POWER, wait=True)
+        yield Sleep(from_msec(5))
+
+    app.spawn(behavior())
+    box = app.create_psbox(("cpu", "dsp"))
+    box.enter()
+    platform.sim.run(until=8 * SEC)
+    assert app.finished
+    return box.vmeter.energy(0, app.finished_at), app.finished_at / 1e9
+
+
+def main():
+    print("energy per item, measured through the app's own psbox:\n")
+    print("{:<20} {:>12} {:>12}   {}".format(
+        "problem size", "CPU (mJ)", "DSP (mJ)", "decision"))
+    for size in WORKLOADS:
+        cpu_joules, cpu_secs = probe(size, "cpu")
+        dsp_joules, dsp_secs = probe(size, "dsp")
+        winner = "run on CPU" if cpu_joules <= dsp_joules else "OFFLOAD"
+        print("{:<20} {:>12.1f} {:>12.1f}   {}   "
+              "(latency {:.0f} vs {:.0f} ms)".format(
+                  size, cpu_joules * 1000, dsp_joules * 1000, winner,
+                  cpu_secs * 1000, dsp_secs * 1000))
+    print("\nBecause the probes are insulated, the decision is valid no "
+          "matter\nwhat co-runs during probing — and it remains valid "
+          "after leaving the\npsbox, since the vertical environment is "
+          "preserved (§2.6).")
+
+
+if __name__ == "__main__":
+    main()

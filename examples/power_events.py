@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Power events over psbox observations (§8.2's sensor-style API).
+
+An app with alternating quiet/busy phases registers three predicates over
+its own insulated power — "high power", "spike", "power keeps increasing"
+— exactly the way today's apps register accelerometer listeners.
+
+Run:  python examples/power_events.py
+"""
+
+from repro import Kernel, Platform
+from repro.apps.base import App
+from repro.core.events import (
+    MonotonicIncrease,
+    PowerEventMonitor,
+    SpikeDetected,
+    ThresholdAbove,
+)
+from repro.kernel.actions import Compute, Sleep
+from repro.sim import SEC, from_msec
+
+
+def main():
+    platform = Platform.am57(seed=8)
+    kernel = Kernel(platform)
+    app = App(kernel, "bursty")
+
+    def behavior():
+        intensity = 1.0
+        while True:
+            yield Sleep(from_msec(250))
+            deadline = kernel.now + from_msec(200)
+            while kernel.now < deadline:
+                yield Compute(2e6 * intensity)
+            intensity = min(intensity + 0.5, 3.0)   # each burst heavier
+
+    app.spawn(behavior())
+    box = app.create_psbox(("cpu",))
+    box.enter()
+
+    monitor = PowerEventMonitor(box, period=from_msec(25)).start()
+
+    def announce(tag):
+        def callback(t, payload):
+            detail = ", ".join(
+                "{}={:.2f}".format(k, v) for k, v in payload.items()
+            )
+            print("  t={:5.2f}s  {:<18} {}".format(t / 1e9, tag, detail))
+        return callback
+
+    monitor.subscribe(ThresholdAbove(1.5, min_samples=2),
+                      announce("HIGH POWER"))
+    monitor.subscribe(SpikeDetected(factor=3.0, window=6),
+                      announce("POWER SPIKE"))
+    monitor.subscribe(MonotonicIncrease(n=4, tolerance_w=0.01),
+                      announce("POWER CREEP"))
+
+    print("power events observed by the app inside its psbox:")
+    platform.sim.run(until=3 * SEC)
+    monitor.stop()
+    print("\n{} events over 3 s; the app could now throttle itself, "
+          "shed work, or re-plan.".format(len(monitor.events)))
+
+
+if __name__ == "__main__":
+    main()

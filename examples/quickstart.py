@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: observe an app's insulated power with a PowerSandbox.
+
+Boots the simulated AM57-like board, runs calib3d next to a noisy
+bodytrack, and shows the difference between what the psbox reports (the
+app + its vertical environment, insulated) and what legacy per-sample
+accounting attributes to the same app.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Kernel, Platform
+from repro.accounting import PerSampleUsageAccounting
+from repro.analysis.report import format_series
+from repro.apps import bodytrack, calib3d
+from repro.sim import MSEC, SEC
+
+
+def main():
+    platform = Platform.am57(seed=1)
+    kernel = Kernel(platform)
+
+    # The power-aware app and a noisy neighbour.
+    app = calib3d(kernel, iterations=40)
+    noisy = bodytrack(kernel, iterations=300)
+
+    # psbox_create + psbox_enter (Listing 1 of the paper).
+    box = app.create_psbox(components=("cpu",))
+    box.enter()
+
+    platform.sim.run(until=4 * SEC)
+    end = app.finished_at
+    print("calib3d finished after {:.2f}s of simulated time".format(end / 1e9))
+
+    # psbox_read: accumulated energy of the app in its vertical slice.
+    joules = box.vmeter.energy(0, end)
+    print("psbox observation : {:6.1f} mJ".format(joules * 1000))
+
+    # psbox_sample: timestamped power samples (here at 1 ms for display).
+    times, watts = box.sample(t0=0, t1=end, dt=MSEC)
+    print(format_series(watts, label="psbox power (W)"))
+
+    # What the existing approach would have attributed to the same app.
+    accounting = PerSampleUsageAccounting(platform, "cpu")
+    share = accounting.energies([app.id, noisy.id], 0, end)[app.id]
+    print("accounting share  : {:6.1f} mJ".format(share * 1000))
+    print("system rail total : {:6.1f} mJ".format(
+        platform.meter.energy("cpu", 0, end) * 1000))
+
+    box.leave()
+    print("\nRe-run with bodytrack removed and the psbox number barely "
+          "moves; the accounting share does. That is the paper's point.")
+
+
+if __name__ == "__main__":
+    main()

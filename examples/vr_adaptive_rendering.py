@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""The end-to-end VR use case (§6.4 / Figure 9).
+
+A gesture task with input-dependent load co-runs with a rendering task.
+Rendering observes its own CPU power inside its psbox — insulated from
+gesture — and trades fidelity for power against a budget.
+
+Run:  python examples/vr_adaptive_rendering.py [budget_watts]
+"""
+
+import sys
+
+from repro import Kernel, Platform
+from repro.analysis.report import format_series
+from repro.apps.vr import FIDELITY_LEVELS, VrApp
+from repro.sim import MSEC, SEC
+
+
+def main(budget_w=0.35):
+    platform = Platform.am57(seed=17)
+    kernel = Kernel(platform)
+    duration = 4 * SEC
+
+    vr = VrApp(kernel, budget_w=budget_w, fidelity=5, duration=duration)
+    platform.sim.run(until=duration)
+
+    print("power budget: {:.0f} mW".format(budget_w * 1000))
+    print("fidelity levels: {} (period ms, cycles/frame)".format(
+        [(p // MSEC, int(c)) for p, c in FIDELITY_LEVELS]))
+    print("\nadaptation trace (observed power -> fidelity changes):")
+    changes = dict(vr.fidelity_history)
+    for t, watts in vr.power_history:
+        marker = ""
+        if t in changes:
+            marker = "  -> fidelity {}".format(changes[t])
+        print("  t={:5.2f}s  {:6.0f} mW{}".format(t / 1e9, watts * 1000,
+                                                  marker))
+
+    times, watts = vr.psbox.sample("cpu", 0, duration, dt=MSEC)
+    print()
+    print(format_series(watts, label="rendering power (psbox view, W)"))
+    _t, total = platform.meter.sample("cpu", 0, duration, MSEC)
+    print(format_series(total, label="total CPU rail power        (W)"))
+
+    frames = vr.render_app.counters.get("render_frames", 0)
+    print("\nsteady fidelity {} | {} frames rendered | gesture frames {}"
+          .format(vr.fidelity, frames,
+                  vr.gesture_app.counters.get("gesture_frames", 0)))
+    vr.stop()
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.35)

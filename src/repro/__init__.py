@@ -1,0 +1,37 @@
+"""repro — a full-system reproduction of "Power Sandbox: Power Awareness
+Redefined" (EuroSys 2018) on a simulated embedded platform.
+
+Quickstart::
+
+    from repro import Platform, Kernel, PowerSandbox
+    from repro.apps import calib3d, bodytrack
+    from repro.sim import SEC
+
+    platform = Platform.am57(seed=1)
+    kernel = Kernel(platform)
+    app = calib3d(kernel)
+    bodytrack(kernel)                      # a noisy neighbour
+
+    box = PowerSandbox(kernel, app, components=("cpu",))
+    with box:
+        platform.sim.run(until=SEC)
+        joules = box.read()                # insulated energy observation
+        times, watts = box.sample()        # timestamped power samples
+"""
+
+from repro.apps.base import App
+from repro.core.psbox import PowerSandbox, PsboxError
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel, KernelConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "App",
+    "Kernel",
+    "KernelConfig",
+    "Platform",
+    "PowerSandbox",
+    "PsboxError",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Power accounting baselines — the "existing approach" the paper compares
+against.
+
+These mechanisms divide each *system* power sample among co-running apps
+using heuristics, exactly as state-of-the-art accounting does; none of them
+can undo power entanglement, which is the point of Section 2.3.
+
+* :class:`PerSampleUsageAccounting` — the paper's comparator [96,
+  AppScope-like]: every sample is split proportionally to per-app hardware
+  usage within that sampling interval, tracked at the lowest software level
+  and 10 us granularity ("implemented favorably").
+* :class:`EvenSplitAccounting` — equal split among apps active in the
+  interval [94].
+* :class:`LastTriggerAccounting` — the whole sample goes to the most recent
+  user of the hardware (Eprof-style tail attribution [70]).
+* :class:`UtilizationAccounting` — power scaled by each app's absolute
+  utilization; the residual stays unattributed [100].
+"""
+
+from repro.accounting.base import UsageExtractor, bin_step_trace
+from repro.accounting.display import PixelAccounting
+from repro.accounting.even_split import EvenSplitAccounting
+from repro.accounting.last_trigger import LastTriggerAccounting
+from repro.accounting.model_metering import LinearPowerModel
+from repro.accounting.per_sample import PerSampleUsageAccounting
+from repro.accounting.shapley import ShapleyAccounting
+from repro.accounting.utilization import UtilizationAccounting
+
+__all__ = [
+    "EvenSplitAccounting",
+    "LastTriggerAccounting",
+    "LinearPowerModel",
+    "PerSampleUsageAccounting",
+    "PixelAccounting",
+    "ShapleyAccounting",
+    "UsageExtractor",
+    "UtilizationAccounting",
+    "bin_step_trace",
+]

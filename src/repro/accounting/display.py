@@ -1,0 +1,32 @@
+"""Display accounting: exact per-pixel division (§7, item 1).
+
+OLED panels are free of power entanglement, so this is the one component
+where the classic divide-the-power approach is *correct*: the OS divides
+display power among apps by the pixels each produces, and the result
+matches the ground truth exactly.
+"""
+
+
+class PixelAccounting:
+    """Divides display energy among apps by their surface power."""
+
+    def __init__(self, platform):
+        if platform.display is None:
+            raise ValueError("platform has no display")
+        self.platform = platform
+
+    def energies(self, app_ids, t0, t1):
+        """Per-app display energy in joules over [t0, t1).
+
+        Exact by construction — the display's per-surface traces *are* the
+        physical decomposition.
+        """
+        return {
+            app_id: self.platform.display.app_energy(app_id, t0, t1)
+            for app_id in app_ids
+        }
+
+    def unattributed(self, app_ids, t0, t1):
+        """Base-panel energy no app is responsible for."""
+        total = self.platform.rails["display"].energy(t0, t1)
+        return total - sum(self.energies(app_ids, t0, t1).values())

@@ -1,0 +1,23 @@
+"""Even-split accounting: active apps share each sample equally [94]."""
+
+import numpy as np
+
+from repro.accounting.base import AccountingBase
+
+
+class EvenSplitAccounting(AccountingBase):
+    """Each sample is split evenly among the apps with any usage in the
+    interval, regardless of how much hardware each actually consumed."""
+
+    def _split(self, watts, usage, app_ids):
+        active = {app_id: usage[app_id] > 0 for app_id in app_ids}
+        count = np.zeros_like(watts)
+        for app_id in app_ids:
+            count += active[app_id]
+        shares = {}
+        for app_id in app_ids:
+            fraction = np.where(count > 0,
+                                active[app_id] / np.where(count > 0, count, 1.0),
+                                0.0)
+            shares[app_id] = watts * fraction
+        return shares

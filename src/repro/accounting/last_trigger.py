@@ -1,0 +1,29 @@
+"""Last-trigger accounting: each sample goes to the most recent user [70].
+
+Eprof-style: lingering (tail) power is attributed to the entity that
+triggered it last.  Implemented per sampling interval: the app whose
+activity is most recent as of the interval owns the whole sample.
+"""
+
+import numpy as np
+
+from repro.accounting.base import AccountingBase
+
+
+class LastTriggerAccounting(AccountingBase):
+    def _split(self, watts, usage, app_ids):
+        n_bins = len(watts)
+        last_seen = {}
+        for app_id in app_ids:
+            active = usage[app_id] > 0
+            indices = np.arange(n_bins)
+            seen = np.where(active, indices, -1)
+            last_seen[app_id] = np.maximum.accumulate(seen)
+        stack = np.stack([last_seen[app_id] for app_id in app_ids])
+        winner = np.argmax(stack, axis=0)
+        any_seen = np.max(stack, axis=0) >= 0
+        shares = {}
+        for pos, app_id in enumerate(app_ids):
+            mask = any_seen & (winner == pos)
+            shares[app_id] = np.where(mask, watts, 0.0)
+        return shares

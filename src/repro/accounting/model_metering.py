@@ -1,0 +1,78 @@
+"""Model-based power metering (§2.2's *other* metering method).
+
+Most prior work infers power from software-visible activity through linear
+models fitted at development time (AppScope, Eprof, PowerTutor, ...).  This
+implements that approach against our platform: per-bin utilization features
+-> fitted linear model -> estimated power.  Two of the paper's points fall
+out of it:
+
+* modeling error grows on modern hardware (DVFS, shared static power,
+  overlap sub-additivity make power non-linear in utilization), and
+* even a *perfect* model would not help app power awareness, because it
+  estimates the same entangled system power that direct measurement meters
+  (§2.3) — attribution still fails.
+"""
+
+import numpy as np
+
+from repro.accounting.base import UsageExtractor
+from repro.sim.clock import MSEC
+
+
+class LinearPowerModel:
+    """``P ~= beta0 + sum_i beta_i * utilization_i`` fitted by least squares.
+
+    Features are the per-app usage arrays of a component, plus the total
+    usage — the aggregate-activity features real model-based meters use.
+    """
+
+    def __init__(self, platform, component, dt=MSEC):
+        self.platform = platform
+        self.component = component
+        self.dt = dt
+        self.extractor = UsageExtractor(platform, component, tail_attr=0)
+        self.coefficients = None
+
+    def _features(self, app_ids, t0, t1):
+        usage = self.extractor.usage(app_ids, t0, t1, self.dt)
+        columns = [usage[app_id] for app_id in app_ids]
+        total = np.sum(columns, axis=0) if columns else np.zeros(0)
+        n = len(total)
+        return np.column_stack([np.ones(n)] + columns + [total])
+
+    def fit(self, app_ids, t0, t1):
+        """Fit the model against the metered rail over a training window."""
+        features = self._features(app_ids, t0, t1)
+        n = features.shape[0]
+        _times, watts = self.platform.meter.sample(
+            self.component, t0, t0 + n * self.dt, self.dt
+        )
+        self.coefficients, *_rest = np.linalg.lstsq(features, watts,
+                                                    rcond=None)
+        return self
+
+    def predict(self, app_ids, t0, t1):
+        """Estimated power per bin over [t0, t1)."""
+        if self.coefficients is None:
+            raise RuntimeError("fit() the model first")
+        features = self._features(app_ids, t0, t1)
+        return features @ self.coefficients
+
+    def rmse(self, app_ids, t0, t1):
+        """Root-mean-square modeling error against the real rail, watts."""
+        predicted = self.predict(app_ids, t0, t1)
+        n = len(predicted)
+        _times, watts = self.platform.meter.sample(
+            self.component, t0, t0 + n * self.dt, self.dt
+        )
+        return float(np.sqrt(np.mean((predicted - watts) ** 2)))
+
+    def mean_power_error_pct(self, app_ids, t0, t1):
+        """Relative error of the estimated mean power, percent."""
+        predicted = self.predict(app_ids, t0, t1)
+        n = len(predicted)
+        _times, watts = self.platform.meter.sample(
+            self.component, t0, t0 + n * self.dt, self.dt
+        )
+        actual = float(watts.mean())
+        return 100.0 * abs(float(predicted.mean()) - actual) / actual

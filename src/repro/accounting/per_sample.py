@@ -1,0 +1,27 @@
+"""Usage-proportional per-sample accounting — the paper's comparator [96]."""
+
+import numpy as np
+
+from repro.accounting.base import AccountingBase
+
+
+class PerSampleUsageAccounting(AccountingBase):
+    """Each power sample is divided among apps in proportion to their
+    hardware usage within that sampling interval.
+
+    Samples with no attributable usage (pure idle) belong to nobody — the
+    favorable choice for the baseline, since charging idle power would only
+    inflate its error further.
+    """
+
+    def _split(self, watts, usage, app_ids):
+        total = np.zeros_like(watts)
+        for app_id in app_ids:
+            total += usage[app_id]
+        shares = {}
+        with np.errstate(divide="ignore", invalid="ignore"):
+            for app_id in app_ids:
+                fraction = np.where(total > 0, usage[app_id] / np.where(
+                    total > 0, total, 1.0), 0.0)
+                shares[app_id] = watts * fraction
+        return shares

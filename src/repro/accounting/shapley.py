@@ -1,0 +1,136 @@
+"""Shapley-value power accounting for accelerators (Dong et al. [25]).
+
+"Rethink energy accounting with cooperative game theory": treat each power
+sample as a cooperative game among the apps concurrently using the device,
+and attribute to each app its Shapley value — the average marginal power
+contribution over all join orders.  This is the principled way to divide
+*jointly caused* power, and it needs something the simple heuristics do
+not: a model of what any *coalition* of apps would have drawn.
+
+We give it the true hardware model (maximally favorable), and it still
+cannot make an app's share match what the app would draw alone — because
+entanglement is physical, not an artifact of the division rule: the
+sub-additive overlap power simply has no per-app decomposition that is
+simultaneously efficient and context-free.
+"""
+
+import itertools
+import math
+
+from repro.hw import platform as hwplat
+
+
+class ShapleyAccounting:
+    """Exact Shapley attribution over accelerator in-flight segments."""
+
+    def __init__(self, platform, component):
+        if component not in (hwplat.GPU, hwplat.DSP):
+            raise ValueError(
+                "Shapley accounting is defined for command-queue "
+                "accelerators, not {!r}".format(component)
+            )
+        self.platform = platform
+        self.component = component
+        self.engine = platform.component(component)
+
+    # -- coalition power under the true hardware model ----------------------------
+
+    def _coalition_power(self, commands, freq_hz):
+        """Rail power if exactly ``commands`` (list of watt weights) ran."""
+        model = self.engine.power_model
+        opp = self._opp_for(freq_hz)
+        return model.rail_power(opp, self.engine.nominal_freq, commands)
+
+    def _opp_for(self, freq_hz):
+        for opp in self.engine.freq_domain.opps:
+            if opp.freq_hz == freq_hz:
+                return opp
+        return self.engine.freq_domain.opp
+
+    def _shapley_segment(self, per_app_commands, freq_hz):
+        """Shapley values for one segment; exact over app permutations."""
+        apps = sorted(per_app_commands)
+        n = len(apps)
+        if n == 0:
+            return {}
+        values = {app: 0.0 for app in apps}
+        base = self._coalition_power([], freq_hz)
+        for order in itertools.permutations(apps):
+            coalition = []
+            previous = base
+            for app in order:
+                coalition = coalition + per_app_commands[app]
+                current = self._coalition_power(coalition, freq_hz)
+                values[app] += current - previous
+                previous = current
+        scale = 1.0 / math.factorial(n)
+        return {app: value * scale for app, value in values.items()}
+
+    # -- the segment walk -----------------------------------------------------------
+
+    def _segments(self, t0, t1):
+        """Yield (start, end, {app: [command powers]}) over [t0, t1).
+
+        Reconstructed from the engine's dispatch/complete log, split
+        additionally at frequency changes.
+        """
+        edges = []
+        for t, kind, payload in self.engine.log:
+            if kind == "dispatch":
+                edges.append((t, "d", payload["seq"], payload["app"],
+                              payload["power"]))
+            elif kind == "complete":
+                edges.append((t, "c", payload["seq"], payload["app"], None))
+        freq_trace = self.engine.freq_domain.freq_trace
+        freq_edges = [t for t, _v1, _v2 in (
+            (s, e, v) for s, e, v in freq_trace.segments(t0, t1)
+        )]
+
+        active = {}          # seq -> (app, power)
+        events = sorted(edges)
+        cut_points = sorted(
+            {t0, t1}
+            | {t for t, *_rest in events if t0 < t < t1}
+            | {t for t in freq_edges if t0 < t < t1}
+        )
+        # Replay history up to t0 first.
+        idx = 0
+        while idx < len(events) and events[idx][0] <= t0:
+            self._apply(active, events[idx])
+            idx += 1
+        for start, end in zip(cut_points, cut_points[1:]):
+            while idx < len(events) and events[idx][0] <= start:
+                self._apply(active, events[idx])
+                idx += 1
+            per_app = {}
+            for app, power in active.values():
+                per_app.setdefault(app, []).append(power)
+            yield start, end, per_app, freq_trace.value_at(start)
+
+    @staticmethod
+    def _apply(active, event):
+        t, kind, seq, app, power = event
+        if kind == "d":
+            active[seq] = (app, power)
+        else:
+            active.pop(seq, None)
+
+    # -- public API --------------------------------------------------------------------
+
+    def energies(self, app_ids, t0, t1):
+        """Per-app Shapley-attributed energy (J) over [t0, t1)."""
+        totals = {app_id: 0.0 for app_id in app_ids}
+        for start, end, per_app, freq in self._segments(t0, t1):
+            if not per_app:
+                continue
+            values = self._shapley_segment(per_app, freq)
+            dt = (end - start) / 1e9
+            for app, watts in values.items():
+                if app in totals:
+                    totals[app] += watts * dt
+        return totals
+
+    def unattributed(self, app_ids, t0, t1):
+        """Idle/static energy no coalition is responsible for."""
+        rail = self.platform.rails[self.component].energy(t0, t1)
+        return rail - sum(self.energies(app_ids, t0, t1).values())

@@ -1,0 +1,25 @@
+"""Utilization-scaled accounting: power times absolute utilization [100].
+
+Each app is charged ``P * u_app / capacity``; whatever utilization does not
+cover (shared/static power while partially idle) stays unattributed, so the
+per-app energies do not sum to the system energy.
+"""
+
+from repro.accounting.base import AccountingBase
+from repro.hw import platform as hwplat
+
+
+class UtilizationAccounting(AccountingBase):
+    def _capacity(self):
+        if self.component == hwplat.CPU:
+            return float(self.platform.cpu.n_cores)
+        if self.component in (hwplat.GPU, hwplat.DSP):
+            return float(self.platform.component(self.component).parallelism)
+        return 1.0
+
+    def _split(self, watts, usage, app_ids):
+        capacity = self._capacity()
+        return {
+            app_id: watts * (usage[app_id] / capacity).clip(0.0, 1.0)
+            for app_id in app_ids
+        }

@@ -1,0 +1,24 @@
+"""Analysis helpers: energy comparison, throughput/latency metrics, reports."""
+
+from repro.analysis.energy import (
+    energy_consistency,
+    percent_delta,
+    trace_energy,
+)
+from repro.analysis.metrics import (
+    latency_summary,
+    throughput,
+    throughput_series,
+)
+from repro.analysis.report import format_series, format_table
+
+__all__ = [
+    "energy_consistency",
+    "format_series",
+    "format_table",
+    "latency_summary",
+    "percent_delta",
+    "throughput",
+    "throughput_series",
+    "trace_energy",
+]

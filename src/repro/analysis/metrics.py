@@ -1,0 +1,31 @@
+"""Throughput and latency metrics over app event logs."""
+
+import numpy as np
+
+
+def throughput(app, metric, t0, t1):
+    """Units of ``metric`` per second over [t0, t1)."""
+    return app.rate(metric, t0, t1)
+
+
+def throughput_series(app, metric, t0, t1, window):
+    """(window_start_times, rates) over consecutive windows."""
+    starts = np.arange(t0, t1 - window + 1, window, dtype=np.int64)
+    rates = np.array([
+        app.rate(metric, int(s), int(s + window)) for s in starts
+    ])
+    return starts, rates
+
+
+def latency_summary(values_ns):
+    """mean / p50 / p95 / max of a latency sample set, in nanoseconds."""
+    if not len(values_ns):
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    arr = np.asarray(values_ns, dtype=np.float64)
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,41 @@
+"""Plain-text rendering of tables and series for the benchmark harness.
+
+The benchmark suite prints the same rows/series the paper's figures show;
+these helpers keep that output consistent and readable.
+"""
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned plain-text table."""
+    columns = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(row[i]) for row in columns) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in columns[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def format_series(values, width=60, label=""):
+    """Render a numeric series as a one-line unicode sparkline."""
+    values = list(values)
+    if not values:
+        return label + " (empty)"
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    chars = "".join(
+        _BLOCKS[int((v - low) / span * (len(_BLOCKS) - 1))] for v in values
+    )
+    prefix = label + " " if label else ""
+    return "{}[{:.3g}..{:.3g}] {}".format(prefix, low, high, chars)

@@ -1,0 +1,48 @@
+"""Benchmark apps (Table 5 of the paper) as simulated workloads.
+
+Each factory spawns the app's tasks on a kernel and returns the
+:class:`App` handle.  CPU apps: bodytrack, calib3d, dedup.  GPU apps:
+browser, magic, cube, triangle.  DSP apps: sgemm, dgemm, monte.  WiFi apps:
+browser, scp, wget.  Plus the website signatures for the side-channel study
+and the VR use case of §6.4.
+"""
+
+from repro.apps.base import App
+from repro.apps.cpu_apps import bodytrack, calib3d, dedup
+from repro.apps.dsp_apps import dgemm, monte, sgemm
+from repro.apps.gpu_apps import cube, gpu_browser, magic, triangle
+from repro.apps.traffic import inbound_stream
+from repro.apps.vr import VrApp
+from repro.apps.websites import WEBSITES, browse_website
+from repro.apps.wifi_apps import scp, wget, wifi_browser
+
+#: the paper's Table 5, as code: component -> {benchmark name -> factory}.
+TABLE5 = {
+    "cpu": {"bodytrack": bodytrack, "calib3d": calib3d, "dedup": dedup},
+    "gpu": {"browser": gpu_browser, "magic": magic, "cube": cube,
+            "triangle": triangle},
+    "dsp": {"sgemm": sgemm, "dgemm": dgemm, "monte": monte},
+    "wifi": {"browser": wifi_browser, "scp": scp, "wget": wget},
+}
+
+__all__ = [
+    "TABLE5",
+    "inbound_stream",
+    "App",
+    "WEBSITES",
+    "VrApp",
+    "bodytrack",
+    "browse_website",
+    "calib3d",
+    "cube",
+    "dedup",
+    "dgemm",
+    "gpu_browser",
+    "magic",
+    "monte",
+    "scp",
+    "sgemm",
+    "triangle",
+    "wget",
+    "wifi_browser",
+]

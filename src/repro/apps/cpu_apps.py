@@ -1,0 +1,71 @@
+"""CPU benchmark apps: calib3d (OpenCV), bodytrack (PARSEC), dedup (PARSEC).
+
+Each is a workload generator with the structure of the original: calib3d
+iterates medium compute bursts (camera calibration solves) over input
+frames; bodytrack runs two worker threads of heavier vision bursts; dedup
+alternates compute (chunking + compression) with I/O-ish waits.  Progress
+is counted in KB of input processed, matching Figure 8(a)'s KB/s axis.
+"""
+
+from repro.apps.base import App
+from repro.kernel.actions import Compute, Sleep
+from repro.sim.clock import from_usec
+
+
+def _burst_cycles(rng, mean, spread):
+    """A positive burst length with mild run-to-run variation."""
+    return max(float(rng.normal(mean, spread)), mean * 0.2)
+
+
+def calib3d(kernel, name="calib3d", iterations=80, kb_per_iteration=3.0,
+            weight=1.0):
+    """Camera calibration / 3D reconstruction: CPU-bound iterations."""
+    app = App(kernel, name, weight=weight)
+    rng = kernel.sim.rng.stream("app.{}.{}".format(name, app.id))
+
+    def behavior():
+        for _ in range(iterations):
+            yield Compute(_burst_cycles(rng, 6.0e6, 0.5e6))
+            app.count("kb", kb_per_iteration)
+            yield Sleep(from_usec(int(rng.uniform(150, 350))))
+
+    app.spawn(behavior(), name=name + ".main")
+    return app
+
+
+def bodytrack(kernel, name="bodytrack", iterations=120, n_workers=2,
+              weight=1.0):
+    """Body tracking: two worker threads of heavier vision bursts."""
+    app = App(kernel, name, weight=weight)
+
+    def worker(worker_id):
+        rng = kernel.sim.rng.stream(
+            "app.{}.{}.w{}".format(name, app.id, worker_id)
+        )
+
+        def behavior():
+            for _ in range(iterations):
+                yield Compute(_burst_cycles(rng, 4.5e6, 0.6e6))
+                app.count("kb", 2.0)
+                yield Sleep(from_usec(int(rng.uniform(100, 300))))
+
+        return behavior
+
+    for worker_id in range(n_workers):
+        app.spawn(worker(worker_id)(), name="{}.w{}".format(name, worker_id))
+    return app
+
+
+def dedup(kernel, name="dedup", iterations=150, weight=1.0):
+    """Stream deduplication: lighter bursts interleaved with I/O waits."""
+    app = App(kernel, name, weight=weight)
+    rng = kernel.sim.rng.stream("app.{}.{}".format(name, app.id))
+
+    def behavior():
+        for _ in range(iterations):
+            yield Compute(_burst_cycles(rng, 2.0e6, 0.3e6))
+            app.count("kb", 4.0)
+            yield Sleep(from_usec(int(rng.uniform(800, 1600))))
+
+    app.spawn(behavior(), name=name + ".main")
+    return app

@@ -1,0 +1,61 @@
+"""DSP benchmark apps: sgemm, dgemm, monte (TI am57 SDK kernels).
+
+Each offloads OpenCL-style kernels to the C66x-like DSP through the
+command-queue scheduler.  Kernel durations are long (tens of ms), which is
+what makes DSP temporal-balloon draining cost ~100 ms in the paper.
+Progress is counted in GFLOP so Figure 8(b)'s GFLOPS axis can be rebuilt.
+"""
+
+from repro.apps.base import App
+from repro.kernel.actions import Sleep, SubmitAccel, WaitOutstanding
+from repro.sim.clock import from_usec
+
+
+def _kernel_loop(kernel, app, kind, cycles_mean, power_w, gflop_per_kernel,
+                 iterations, gap_us):
+    """An async OpenCL-style enqueue loop: up to two kernels in flight."""
+    rng = kernel.sim.rng.stream("app.{}.{}".format(app.name, app.id))
+
+    def behavior():
+        for _ in range(iterations):
+            cycles = max(float(rng.normal(cycles_mean, cycles_mean * 0.06)),
+                         cycles_mean * 0.3)
+            yield SubmitAccel("dsp", kind, cycles, power_w, wait=False)
+            yield WaitOutstanding(2)
+            app.count("gflop", gflop_per_kernel)
+            yield Sleep(from_usec(int(rng.uniform(gap_us * 0.6, gap_us * 1.4))))
+
+    return behavior()
+
+
+def sgemm(kernel, name="sgemm", iterations=40, weight=1.0):
+    """Single-precision matrix multiply: ~75 ms kernels at 0.55 W."""
+    app = App(kernel, name, weight=weight)
+    app.spawn(
+        _kernel_loop(kernel, app, "sgemm", cycles_mean=56e6, power_w=0.55,
+                     gflop_per_kernel=0.40, iterations=iterations, gap_us=600),
+        name=name + ".main",
+    )
+    return app
+
+
+def dgemm(kernel, name="dgemm", iterations=24, weight=1.0):
+    """Double-precision matrix multiply: ~150 ms kernels at 0.85 W."""
+    app = App(kernel, name, weight=weight)
+    app.spawn(
+        _kernel_loop(kernel, app, "dgemm", cycles_mean=112e6, power_w=0.85,
+                     gflop_per_kernel=0.28, iterations=iterations, gap_us=800),
+        name=name + ".main",
+    )
+    return app
+
+
+def monte(kernel, name="monte", iterations=120, weight=1.0):
+    """Monte Carlo simulation: many short ~20 ms kernels at 0.40 W."""
+    app = App(kernel, name, weight=weight)
+    app.spawn(
+        _kernel_loop(kernel, app, "monte", cycles_mean=15e6, power_w=0.40,
+                     gflop_per_kernel=0.05, iterations=iterations, gap_us=400),
+        name=name + ".main",
+    )
+    return app

@@ -1,0 +1,107 @@
+"""GPU benchmark apps: browser (WebKit), magic (PowerVR SDK), cube (Qt),
+triangle (synthetic offscreen stressor).
+
+Browser page loads are bursty mixes of layout/raster/composite commands;
+magic and cube are steady 60 fps render loops of different intensity;
+triangle saturates the GPU with back-to-back heavy draws.  Progress is
+counted in GPU commands so Figure 8(c)'s Commands/s axis can be rebuilt.
+"""
+
+from repro.apps.base import App
+from repro.kernel.actions import Sleep, SubmitAccel, WaitAll, WaitOutstanding
+from repro.sim.clock import from_msec, from_usec
+
+FRAME_NS = from_usec(16667)   # 60 fps
+
+
+def gpu_browser(kernel, name="browser", bursts=None, weight=1.0):
+    """A browser opening a page: bursts of mixed GPU commands.
+
+    ``bursts`` is a list of (gap_ms, [(kind, cycles, power_w), ...]); the
+    default approximates a Google-homepage-like load of ~0.2 s.
+    """
+    app = App(kernel, name, weight=weight)
+    if bursts is None:
+        raster = ("raster", 4.0e6, 0.80)
+        composite = ("composite", 2.4e6, 0.60)
+        layout = ("layout", 1.4e6, 0.48)
+        bursts = [
+            (2, [layout, raster, composite]),
+            (15, [raster, raster, composite]),
+            (20, [layout, raster, raster, composite]),
+            (22, [raster, composite, composite]),
+            (25, [raster, raster, composite]),
+            (30, [composite, composite]),
+        ]
+
+    def behavior():
+        for gap_ms, commands in bursts:
+            yield Sleep(from_msec(gap_ms))
+            for kind, cycles, power_w in commands:
+                yield SubmitAccel("gpu", kind, cycles, power_w, wait=False)
+            yield WaitAll()
+            app.count("bursts", 1)
+
+    app.spawn(behavior(), name=name + ".render")
+    return app
+
+
+def _render_loop(kernel, app, kind, cycles, power_w, frames):
+    """A double-buffered render loop: up to two frames in flight."""
+    rng = kernel.sim.rng.stream("app.{}.{}".format(app.name, app.id))
+
+    def behavior():
+        for _ in range(frames):
+            frame_cycles = max(float(rng.normal(cycles, cycles * 0.05)),
+                               cycles * 0.3)
+            yield SubmitAccel("gpu", kind, frame_cycles, power_w, wait=False)
+            yield WaitOutstanding(2)
+            app.count("frames", 1)
+            yield Sleep(from_usec(int(rng.uniform(200, 500))))
+
+    return behavior()
+
+
+def magic(kernel, name="magic", frames=60, weight=1.0):
+    """The PowerVR "magic lantern" demo: heavy 60 fps scene."""
+    app = App(kernel, name, weight=weight)
+    app.spawn(
+        _render_loop(kernel, app, "magic_frame", cycles=5.5e6, power_w=0.95,
+                     frames=frames),
+        name=name + ".render",
+    )
+    return app
+
+
+def cube(kernel, name="cube", frames=120, weight=1.0):
+    """The Qt rotating-cube demo: light 60 fps scene."""
+    app = App(kernel, name, weight=weight)
+    app.spawn(
+        _render_loop(kernel, app, "cube_frame", cycles=1.6e6, power_w=0.55,
+                     frames=frames),
+        name=name + ".render",
+    )
+    return app
+
+
+def triangle(kernel, name="triangle", draws=4000, cycles=20.0e6, weight=1.0):
+    """Synthetic stressor: large offscreen triangle batches, back to back.
+
+    Batches are deliberately long-running (tens of ms): draining them is
+    what makes the §6.3 robustness test "extremely high contention".
+    """
+    app = App(kernel, name, weight=weight)
+    rng = kernel.sim.rng.stream("app.{}.{}".format(name, app.id))
+
+    def behavior():
+        # One batch in flight at a time: the synthetic stressor issues a
+        # batch and spins preparing the next one, leaving a pipeline slot
+        # free — so without psbox a co-running app's commands can overlap
+        # into it, while a psbox must drain the long batch first.
+        for _ in range(draws):
+            batch = max(float(rng.normal(cycles, cycles * 0.06)), cycles * 0.25)
+            yield SubmitAccel("gpu", "triangles", batch, 1.10, wait=True)
+            app.count("draws", 1)
+
+    app.spawn(behavior(), name=name + ".draw")
+    return app

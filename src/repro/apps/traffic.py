@@ -1,0 +1,36 @@
+"""Inbound traffic sources (the network side of reception).
+
+Reception is initiated by the world, not by apps — a push notification, a
+streaming chunk, a peer's message.  These helpers model that: a sim
+process delivers packets *to* the NIC on a schedule the OS does not
+control, which is precisely why the paper's WiFi psbox cannot fully
+insulate reception (§4.2).
+"""
+
+from repro.sim.clock import from_msec
+
+
+def inbound_stream(platform, app_id, size_bytes=24_000, period_ms=30,
+                   jitter=0.3, count=None, nic=None, rng_name=None):
+    """Start delivering inbound packets for ``app_id``; returns the process.
+
+    ``period_ms`` paces deliveries with multiplicative ``jitter``;
+    ``count=None`` streams forever.  ``nic`` defaults to the WiFi NIC.
+    """
+    device = nic if nic is not None else platform.nic
+    if device is None:
+        raise ValueError("platform has no NIC for inbound traffic")
+    rng = platform.sim.rng.stream(
+        rng_name or "inbound.{}".format(app_id)
+    )
+
+    def deliveries():
+        delivered = 0
+        while count is None or delivered < count:
+            device.receive(app_id, size_bytes)
+            delivered += 1
+            factor = 1.0 + float(rng.uniform(-jitter, jitter))
+            yield max(from_msec(period_ms * factor), 1)
+
+    return platform.sim.spawn(deliveries(),
+                              name="inbound.{}".format(app_id))

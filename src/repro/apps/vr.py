@@ -1,0 +1,111 @@
+"""The end-to-end VR use case (§6.4, Figure 9).
+
+Two continuously running CPU tasks, as in the TI SDK demo the paper builds
+on: *gesture* processes camera frames (its load varies with the number of
+hand contours in view) and *rendering* animates water waves (Phillips
+spectrum + 2D IFFT + height-map refresh) at a fidelity level.
+
+They are separate principals: rendering is the power-aware one.  Inside its
+psbox it periodically samples its own power — insulated from gesture's
+input-dependent load — and trades fidelity (framerate x resolution) for
+power against a budget.  Fidelity levels span roughly 90 mW to 800 mW of
+observed CPU power, the paper's 8.9x range.
+"""
+
+from repro.apps.base import App
+from repro.kernel.actions import Compute, Sleep
+from repro.sim.clock import from_msec
+
+#: fidelity level -> (frame period ns, cycles per frame)
+FIDELITY_LEVELS = (
+    (from_msec(40), 1.5e6),     # level 0: 25 fps, low resolution
+    (from_msec(33), 2.2e6),     # level 1: 30 fps
+    (from_msec(28), 3.0e6),     # level 2: 36 fps
+    (from_msec(25), 4.0e6),     # level 3: 40 fps
+    (from_msec(20), 5.5e6),     # level 4: 50 fps
+    (from_msec(16), 7.0e6),     # level 5: 60 fps, full resolution
+)
+
+
+class VrApp:
+    """Gesture + power-aware rendering, adapting fidelity to a power budget."""
+
+    def __init__(self, kernel, name="vr", budget_w=None, fidelity=5,
+                 sample_period=from_msec(100), duration=None,
+                 use_psbox=True):
+        self.kernel = kernel
+        self.gesture_app = App(kernel, name + ".gesture")
+        self.render_app = App(kernel, name + ".rendering")
+        self.budget_w = budget_w
+        self.fidelity = fidelity
+        self.sample_period = sample_period
+        self.duration = duration
+        self.use_psbox = use_psbox
+        self.psbox = (
+            self.render_app.create_psbox(("cpu",)) if use_psbox else None
+        )
+        self.fidelity_history = []   # (t, level) on every change
+        self.power_history = []      # (t, watts observed by rendering)
+        self._stopped = False
+        self.gesture_app.spawn(self._gesture(), name=name + ".gesture")
+        self.render_app.spawn(self._rendering(), name=name + ".rendering")
+        if use_psbox:
+            self.psbox.enter()
+
+    def stop(self):
+        self._stopped = True
+        if self.psbox is not None and self.psbox.entered:
+            self.psbox.leave()
+
+    # -- the two SDK tasks ------------------------------------------------------
+
+    def _gesture(self):
+        """Contour detection: load follows the (varying) input scene."""
+        rng = self.kernel.sim.rng.stream(
+            "vr.gesture.{}".format(self.gesture_app.id)
+        )
+        contours = 8.0
+        start = self.kernel.now
+        while not self._stopped:
+            if self.duration and self.kernel.now - start > self.duration:
+                return
+            contours = min(max(contours + rng.normal(0.0, 2.0), 1.0), 24.0)
+            yield Compute(0.35e6 + 0.12e6 * contours)
+            self.gesture_app.count("gesture_frames", 1)
+            yield Sleep(from_msec(33))   # 30 fps camera
+
+    def _rendering(self):
+        """Wave animation at the current fidelity, adapting on psbox power."""
+        start = self.kernel.now
+        last_sample = start
+        while not self._stopped:
+            if self.duration and self.kernel.now - start > self.duration:
+                self.stop()
+                return
+            period, cycles = FIDELITY_LEVELS[self.fidelity]
+            yield Compute(cycles)
+            self.render_app.count("render_frames", 1)
+            now = self.kernel.now
+            if (
+                self.use_psbox
+                and self.budget_w is not None
+                and now - last_sample >= self.sample_period
+            ):
+                self._adapt(last_sample, now)
+                last_sample = now
+            elapsed = self.kernel.now - start
+            slack = period - (elapsed % period)
+            yield Sleep(int(slack))
+
+    def _adapt(self, t0, t1):
+        """The power-aware decision: compare observed power to the budget."""
+        watts = self.psbox.energy(t0, t1) / ((t1 - t0) / 1e9)
+        self.power_history.append((t1, watts))
+        old = self.fidelity
+        if watts > self.budget_w * 1.08 and self.fidelity > 0:
+            self.fidelity -= 1
+        elif watts < self.budget_w * 0.80 and \
+                self.fidelity < len(FIDELITY_LEVELS) - 1:
+            self.fidelity += 1
+        if self.fidelity != old:
+            self.fidelity_history.append((t1, self.fidelity))

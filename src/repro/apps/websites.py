@@ -1,0 +1,60 @@
+"""Synthetic "Alexa top-10" websites for the side-channel study (§2.5).
+
+Each website is a distinct, reproducible GPU workload signature — a
+sequence of (gap, command mix) bursts.  Different pages produce different
+GPU power traces ("unique power signatures"), which is all the paper's
+attack needs.  Small per-visit jitter models run-to-run variation.
+"""
+
+import numpy as np
+
+from repro.apps.base import App
+from repro.kernel.actions import Sleep, SubmitAccel, WaitAll
+from repro.sim.clock import from_msec
+
+_SITE_NAMES = (
+    "google", "youtube", "facebook", "baidu", "wikipedia",
+    "reddit", "yahoo", "amazon", "twitter", "instagram",
+)
+
+
+def _signature(site_index):
+    """Deterministic burst sequence for one website."""
+    rng = np.random.default_rng(1000 + site_index)
+    n_bursts = int(rng.integers(6, 13))
+    bursts = []
+    for _ in range(n_bursts):
+        gap_ms = float(rng.uniform(8, 90))
+        n_cmds = int(rng.integers(1, 6))
+        commands = []
+        for _ in range(n_cmds):
+            cycles = float(rng.uniform(0.4e6, 4.5e6))
+            power = float(rng.uniform(0.30, 1.10))
+            commands.append(("page", cycles, power))
+        bursts.append((gap_ms, commands))
+    return bursts
+
+
+WEBSITES = {name: _signature(i) for i, name in enumerate(_SITE_NAMES)}
+
+
+def browse_website(kernel, site, name=None, jitter=0.04, weight=1.0):
+    """A browser (victim) visiting ``site``: its GPU workload signature."""
+    if site not in WEBSITES:
+        raise KeyError("unknown website {!r}".format(site))
+    app = App(kernel, name or "browser[{}]".format(site), weight=weight)
+    rng = kernel.sim.rng.stream("victim.{}.{}".format(site, app.id))
+
+    def behavior():
+        for gap_ms, commands in WEBSITES[site]:
+            gap = gap_ms * (1.0 + float(rng.normal(0.0, jitter)))
+            yield Sleep(from_msec(max(gap, 1.0)))
+            for kind, cycles, power in commands:
+                jittered = cycles * (1.0 + float(rng.normal(0.0, jitter)))
+                yield SubmitAccel("gpu", kind, max(jittered, 1e5), power,
+                                  wait=False)
+            yield WaitAll()
+        app.count("pages", 1)
+
+    app.spawn(behavior(), name=app.name + ".render")
+    return app

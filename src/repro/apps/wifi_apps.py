@@ -1,0 +1,67 @@
+"""WiFi benchmark apps: browser (Links), scp, wget.
+
+All three transmit through the fair packet scheduler.  Transmit units are
+aggregated bursts (A-MPDU-scale, tens of KB), not MTU frames, so multi-MB
+transfers finish within the few simulated seconds the experiments run.  The
+paper's 50 MB files are scaled down accordingly (documented in DESIGN.md);
+throughput axes stay in KB/s.
+"""
+
+from repro.apps.base import App
+from repro.kernel.actions import SendPacket, Sleep, WaitAll, WaitOutstanding
+from repro.sim.clock import from_msec
+
+
+def wifi_browser(kernel, name="wbrowser", pages=1, weight=1.0):
+    """A text browser loading a page: a few request/response bursts."""
+    app = App(kernel, name, weight=weight)
+    rng = kernel.sim.rng.stream("app.{}.{}".format(name, app.id))
+
+    def behavior():
+        for _ in range(pages):
+            for burst_packets in (2, 4, 3, 2):
+                yield Sleep(from_msec(int(rng.uniform(15, 40))))
+                for _ in range(burst_packets):
+                    size = int(rng.uniform(16_000, 30_000))
+                    yield SendPacket(size, wait=False)
+                    app.count("kb", size / 1024.0)
+                yield WaitAll()
+            app.count("pages", 1)
+
+    app.spawn(behavior(), name=name + ".net")
+    return app
+
+
+def scp(kernel, name="scp", total_bytes=2_500_000, chunk=32_000, weight=1.0):
+    """Bulk encrypted copy: a steady serialized stream of chunks."""
+    app = App(kernel, name, weight=weight)
+
+    def behavior():
+        sent = 0
+        while sent < total_bytes:
+            size = min(chunk, total_bytes - sent)
+            yield SendPacket(size, wait=True)
+            sent += size
+            app.count("kb", size / 1024.0)
+
+    app.spawn(behavior(), name=name + ".net")
+    return app
+
+
+def wget(kernel, name="wget", total_bytes=2_500_000, chunk=48_000,
+         window=6, weight=1.0):
+    """Bulk HTTP transfer: a sliding window of in-flight chunks."""
+    app = App(kernel, name, weight=weight)
+
+    def behavior():
+        sent = 0
+        while sent < total_bytes:
+            size = min(chunk, total_bytes - sent)
+            yield SendPacket(size, wait=False)
+            sent += size
+            yield WaitOutstanding(window)
+            app.count("kb", size / 1024.0)
+        yield WaitAll()
+
+    app.spawn(behavior(), name=name + ".net")
+    return app

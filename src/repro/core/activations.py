@@ -1,0 +1,146 @@
+"""User-level coscheduling via scheduler activations (§7 alternative).
+
+The paper notes psbox could be built on scheduler activations [3] instead
+of kernel coscheduling: the app, upon entering its psbox, spawns dummy
+threads to occupy unused cores, and adjusts their number on upcalls as its
+real threads suspend/resume.  This module implements that design so it can
+be compared against the kernel mechanism:
+
+* **Boundary quality** — dummies compete through ordinary CFS instead of
+  forced scheduling, so other apps can slip in between dummy wakeups; the
+  boundary is statistical, not enforced.
+* **Power cost** — dummy threads *spin*, so the "insulated" observation
+  includes their active power, where a kernel balloon's forced-idle cores
+  sit at idle power.
+
+Observation windows are derived post-hoc from core ownership: instants
+where every core belongs to the app (real or dummy thread).
+"""
+
+from repro.kernel.actions import Compute, Sleep
+from repro.sim.clock import from_msec, from_usec
+
+
+class _DummyControl:
+    __slots__ = ("active",)
+
+    def __init__(self):
+        self.active = False
+
+
+class UserLevelCoscheduler:
+    """Activation-style psbox enforcement, entirely in user space."""
+
+    def __init__(self, kernel, app, upcall_period=from_usec(500),
+                 dummy_burst=0.25e6):
+        self.kernel = kernel
+        self.app = app
+        self.platform = kernel.platform
+        self.upcall_period = upcall_period
+        self.dummy_burst = dummy_burst
+        self.engaged = False
+        self.engaged_at = None
+        self._controls = []
+        self._tick_event = None
+        n_cores = self.platform.cpu.n_cores
+        # One dummy per core is the most we could ever need.
+        for i in range(n_cores):
+            control = _DummyControl()
+            self._controls.append(control)
+            app.spawn(self._dummy(control),
+                      name="{}.dummy{}".format(app.name, i))
+
+    def _dummy(self, control):
+        """A dummy thread: spins while activated, parks otherwise."""
+        while True:
+            if control.active:
+                yield Compute(self.dummy_burst)
+            else:
+                yield Sleep(from_msec(2))
+
+    # -- engage / disengage ------------------------------------------------------
+
+    def engage(self):
+        """Enter: start the upcall loop that sizes the dummy pool."""
+        if self.engaged:
+            return
+        self.engaged = True
+        self.engaged_at = self.kernel.now
+        self._upcall()
+
+    def disengage(self):
+        self.engaged = False
+        for control in self._controls:
+            control.active = False
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+
+    def _upcall(self):
+        """Emulates the kernel's activation upcall: resize the dummy pool
+        to ``n_cores - real_runnable`` whenever real threads change state."""
+        self._tick_event = self.kernel.sim.call_later(
+            self.upcall_period, self._upcall
+        )
+        if not self.engaged:
+            return
+        real_active = sum(
+            1 for task in self.app.tasks
+            if task.state in ("ready", "running")
+            and not task.name.split(".")[-1].startswith("dummy")
+        )
+        n_cores = self.platform.cpu.n_cores
+        wanted = 0
+        if real_active > 0:
+            wanted = max(0, n_cores - real_active)
+        for index, control in enumerate(self._controls):
+            control.active = index < wanted
+
+    # -- observation --------------------------------------------------------------
+
+    def observation_windows(self, t0, t1):
+        """Instants where the app owns every core (real or dummy)."""
+        traces = self.platform.cpu.owner_traces
+        per_core = [list(trace.segments(t0, t1)) for trace in traces]
+        edges = sorted({t0, t1} | {
+            s for segments in per_core for s, _e, _v in segments
+        })
+        windows = []
+        current = None
+        for start, end in zip(edges, edges[1:]):
+            owned = all(
+                self._owner_at(segments, start) == self.app.id
+                for segments in per_core
+            )
+            if owned:
+                if current is None:
+                    current = [start, end]
+                else:
+                    current[1] = end
+            elif current is not None:
+                windows.append(tuple(current))
+                current = None
+        if current is not None:
+            windows.append(tuple(current))
+        return windows
+
+    @staticmethod
+    def _owner_at(segments, t):
+        for start, end, owner in segments:
+            if start <= t < end:
+                return int(owner)
+        return -1
+
+    def energy(self, t0, t1):
+        """Insulated energy estimate: rail power inside full-ownership
+        windows, idle power elsewhere — the activation analogue of the
+        virtual power meter."""
+        rail = self.platform.rails["cpu"]
+        idle_w = self.platform.idle_power("cpu")
+        covered = 0
+        total = 0.0
+        for lo, hi in self.observation_windows(t0, t1):
+            total += rail.energy(lo, hi)
+            covered += hi - lo
+        total += idle_w * (t1 - t0 - covered) / 1e9
+        return total

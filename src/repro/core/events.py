@@ -1,0 +1,165 @@
+"""App-defined power events over psbox observations (§8.2).
+
+The paper proposes wrapping the psbox interface under mobile sensor APIs:
+apps subscribe to a "power" sensor and register predicates — "high power",
+"frequent power spikes", "power keeps increasing" — continuously evaluated
+over power samples by the OS or a sensor hub.  This module is that layer:
+
+    monitor = PowerEventMonitor(box, period=from_msec(50))
+    monitor.subscribe(ThresholdAbove(0.8), on_high_power)
+    monitor.subscribe(MonotonicIncrease(4), on_power_creep)
+
+Predicates are edge-triggered: a callback fires when its condition becomes
+true, and re-arms once it has become false again.
+"""
+
+from collections import deque
+
+from repro.sim.clock import from_msec
+
+
+class PowerPredicate:
+    """Base predicate over a history of (time, watts) observations."""
+
+    def check(self, history):
+        """Return a payload dict when the condition holds, else None."""
+        raise NotImplementedError
+
+
+class ThresholdAbove(PowerPredicate):
+    """Mean power above ``watts`` for at least ``min_samples`` samples."""
+
+    def __init__(self, watts, min_samples=1):
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.watts = float(watts)
+        self.min_samples = min_samples
+
+    def check(self, history):
+        if len(history) < self.min_samples:
+            return None
+        recent = list(history)[-self.min_samples:]
+        if all(w > self.watts for _t, w in recent):
+            return {"watts": recent[-1][1], "threshold": self.watts}
+        return None
+
+
+class SpikeDetected(PowerPredicate):
+    """Latest sample exceeds ``factor`` x the trailing-window mean."""
+
+    def __init__(self, factor=2.0, window=8, floor_w=0.01):
+        if factor <= 1.0:
+            raise ValueError("factor must exceed 1")
+        self.factor = factor
+        self.window = window
+        self.floor_w = floor_w
+
+    def check(self, history):
+        if len(history) < self.window + 1:
+            return None
+        *trail, (t, latest) = list(history)[-(self.window + 1):]
+        mean = sum(w for _t, w in trail) / len(trail)
+        baseline = max(mean, self.floor_w)
+        if latest > self.factor * baseline:
+            return {"watts": latest, "baseline": mean}
+        return None
+
+
+class MonotonicIncrease(PowerPredicate):
+    """Power strictly increased across the last ``n`` observations."""
+
+    def __init__(self, n=3, tolerance_w=0.0):
+        if n < 2:
+            raise ValueError("need at least two observations to increase")
+        self.n = n
+        self.tolerance_w = tolerance_w
+
+    def check(self, history):
+        if len(history) < self.n:
+            return None
+        recent = [w for _t, w in list(history)[-self.n:]]
+        if all(b > a + self.tolerance_w for a, b in zip(recent, recent[1:])):
+            return {"from_w": recent[0], "to_w": recent[-1]}
+        return None
+
+
+class _Subscription:
+    __slots__ = ("predicate", "callback", "armed")
+
+    def __init__(self, predicate, callback):
+        self.predicate = predicate
+        self.callback = callback
+        self.armed = True
+
+
+class PowerEventMonitor:
+    """Continuously evaluates predicates over a psbox's power readings.
+
+    Each period, the monitor appends one observation — the mean power over
+    the elapsed period, from the sandbox's virtual meter — and evaluates
+    every subscription.  Events carry ``(time, payload)``.
+    """
+
+    def __init__(self, psbox, period=from_msec(50), component=None,
+                 history=64):
+        self.psbox = psbox
+        self.period = period
+        self.component = component
+        self.history = deque(maxlen=history)
+        self.events = []               # (time, predicate, payload) log
+        self._subscriptions = []
+        self._last_t = psbox.kernel.now
+        self._tick_event = None
+        self.running = False
+
+    def subscribe(self, predicate, callback=None):
+        """Register a predicate; ``callback(time, payload)`` on each event."""
+        subscription = _Subscription(predicate, callback)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def start(self):
+        if self.running:
+            return self
+        self.running = True
+        self._last_t = self.psbox.kernel.now
+        self._arm()
+        return self
+
+    def stop(self):
+        self.running = False
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+
+    def _arm(self):
+        self._tick_event = self.psbox.kernel.sim.call_later(
+            self.period, self._tick
+        )
+
+    def _tick(self):
+        self._tick_event = None
+        if not self.running:
+            return
+        now = self.psbox.kernel.now
+        if self.psbox.entered and now > self._last_t:
+            joules = self.psbox.vmeter.energy(
+                self._last_t, now,
+                component=self.component,
+            )
+            watts = joules / ((now - self._last_t) / 1e9)
+            self.history.append((now, watts))
+            self._evaluate(now)
+        self._last_t = now
+        self._arm()
+
+    def _evaluate(self, now):
+        for subscription in self._subscriptions:
+            payload = subscription.predicate.check(self.history)
+            if payload is not None and subscription.armed:
+                subscription.armed = False
+                self.events.append((now, subscription.predicate, payload))
+                if subscription.callback is not None:
+                    subscription.callback(now, payload)
+            elif payload is None:
+                subscription.armed = True

@@ -1,0 +1,117 @@
+"""The virtual power meter behind every psbox.
+
+While a resource balloon holds the hardware for the psbox, the rail's real
+metered power *is* the psbox's power (the app plus its vertical
+environment).  Outside those windows the kernel feeds idle-power samples:
+"to the app, the hardware appears idle" (§4.1).  Readings are timestamped
+with the same clock apps read via ``Kernel.now`` — the paper's
+clock_gettime() alignment.
+"""
+
+import numpy as np
+
+
+class VirtualPowerMeter:
+    """Per-component observation windows over the platform's rails.
+
+    Most components are observed through balloon windows.  Two extension
+    components follow §7's special rules instead:
+
+    * ``display`` — OLED power decomposes exactly per app; the meter reads
+      the app's own surface-power trace directly (no windows needed);
+    * ``gps`` — hardware power is revealed whenever the device is in its
+      steady operating state, and hidden (idle-filled) during off/cold
+      start, so no app can infer others' GPS usage.
+    """
+
+    def __init__(self, platform, components, app_id=None):
+        self.platform = platform
+        self.components = tuple(components)
+        self.app_id = app_id
+        self._windows = {comp: [] for comp in self.components}
+        self._open_at = {comp: None for comp in self.components}
+
+    # -- window bookkeeping (driven by the psbox manager) ------------------------
+
+    def open_window(self, component, t):
+        if self._open_at[component] is None:
+            self._open_at[component] = t
+
+    def close_window(self, component, t):
+        start = self._open_at[component]
+        if start is None:
+            return
+        self._open_at[component] = None
+        if t > start:
+            self._windows[component].append((start, t))
+
+    def windows(self, component, t0, t1):
+        """Observation windows clipped to [t0, t1), including an open one."""
+        if component == "gps" and self.platform.gps is not None:
+            return self.platform.gps.operating_windows(t0, t1)
+        clipped = []
+        for start, end in self._windows[component]:
+            lo, hi = max(start, t0), min(end, t1)
+            if hi > lo:
+                clipped.append((lo, hi))
+        start = self._open_at[component]
+        if start is not None and t1 > start:
+            lo = max(start, t0)
+            if t1 > lo:
+                clipped.append((lo, t1))
+        return clipped
+
+    # -- readings -----------------------------------------------------------------
+
+    def energy(self, t0, t1, component=None):
+        """Joules observed over [t0, t1): rail energy inside windows, idle
+        power outside."""
+        components = [component] if component else self.components
+        total = 0.0
+        for comp in components:
+            if comp == "display":
+                total += self._display_energy(t0, t1)
+                continue
+            rail = self.platform.rails[comp]
+            idle_w = self.platform.idle_power(comp)
+            covered = 0
+            for lo, hi in self.windows(comp, t0, t1):
+                total += rail.energy(lo, hi)
+                covered += hi - lo
+            total += idle_w * (t1 - t0 - covered) / 1e9
+        return total
+
+    def _display_energy(self, t0, t1):
+        if self.app_id is None:
+            return 0.0
+        return self.platform.display.app_energy(self.app_id, t0, t1)
+
+    def samples(self, component, t0, t1, dt=None):
+        """Timestamped power samples over [t0, t1) for one component."""
+        meter = self.platform.meter
+        dt = dt or meter.sample_interval
+        if component == "display":
+            trace = self.platform.display.app_traces.get(self.app_id)
+            if trace is None:
+                times = np.arange(t0, t1, dt, dtype=np.int64)
+                return times, np.zeros(len(times))
+            return trace.resample(t0, t1, dt)
+        times, watts = meter.sample(component, t0, t1, dt)
+        idle_w = self.platform.idle_power(component)
+        edges = []
+        for lo, hi in self.windows(component, t0, t1):
+            edges.append(lo)
+            edges.append(hi)
+        if not edges:
+            return times, np.full(len(times), idle_w)
+        idx = np.searchsorted(np.asarray(edges, dtype=np.int64), times,
+                              side="right")
+        inside = idx % 2 == 1
+        return times, np.where(inside, watts, idle_w)
+
+    def observed_fraction(self, component, t0, t1):
+        """Fraction of [t0, t1) covered by observation windows."""
+        if t1 <= t0:
+            return 0.0
+        covered = sum(hi - lo for lo, hi in self.windows(component, t0, t1))
+        return covered / (t1 - t0)

@@ -1,0 +1,48 @@
+"""Power-state virtualization: per-psbox copies of operating/idle states.
+
+Two holder flavours cover the hardware in this repo:
+
+* DVFS devices (CPU, GPU) virtualize through the governor's per-context
+  state (:class:`repro.kernel.governor.OndemandGovernor` is itself a
+  context holder).
+* Snapshot devices (the WiFi NIC) expose ``snapshot()`` / ``restore()`` /
+  ``default_state()``; :class:`SnapshotContextHolder` keeps one saved state
+  per context.
+
+Off/suspended states are deliberately *not* virtualized (§4.1): they never
+appear in these snapshots, and the virtual power meter feeds idle power for
+any period the hardware does not belong to the psbox.
+"""
+
+WORLD = "world"
+
+
+class SnapshotContextHolder:
+    """Keeps one saved operating state per context for a snapshot device."""
+
+    def __init__(self, device):
+        self.device = device
+        self.active = WORLD
+        self.saved = {}
+
+    def switch_context(self, key):
+        """Save the active context's state; program ``key``'s state."""
+        if key == self.active:
+            return
+        self.saved[self.active] = self.device.snapshot()
+        self.active = key
+        if key in self.saved:
+            self.device.restore(self.saved[key])
+        else:
+            # A fresh psbox starts from the device's pristine operating
+            # state — it must not inherit anyone's lingering state.
+            self.device.restore(self.device.default_state())
+
+    def drop_context(self, key):
+        if key == WORLD:
+            raise ValueError("cannot drop the world context")
+        if self.active == key:
+            # Leave first; switching saves the active state, which must not
+            # resurrect the context we are dropping.
+            self.switch_context(WORLD)
+        self.saved.pop(key, None)

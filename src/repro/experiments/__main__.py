@@ -1,0 +1,171 @@
+"""Command-line experiment runner.
+
+Regenerate the paper's figures/tables without pytest::
+
+    python -m repro.experiments fig3 fig6 fig8
+    python -m repro.experiments all
+    python -m repro.experiments --list
+"""
+
+import argparse
+import sys
+
+from repro.analysis.report import format_series, format_table
+
+
+def run_fig3():
+    from repro.experiments.fig3 import (
+        run_fig3a_spatial,
+        run_fig3b_requests,
+        run_fig3c_lingering,
+    )
+
+    a = run_fig3a_spatial()
+    print(format_table(
+        ["series", "mean W"],
+        [["2 instances", "{:.2f}".format(a.mean_two)],
+         ["1 instance doubled", "{:.2f}".format(a.mean_one_doubled)]],
+        title="Fig 3a — spatial concurrency",
+    ))
+    print("doubling overestimates by {:+.0f}%\n".format(a.overestimate_pct))
+
+    b = run_fig3b_requests()
+    print("Fig 3b — commands 1/2 overlap for {:.1f} ms".format(
+        b.overlap_ns / 1e6))
+    print(format_series(b.watts, label="GPU W"))
+
+    c = run_fig3c_lingering()
+    print("\nFig 3c — after idle {:.2f} W vs after busy {:.2f} W "
+          "({:+.0f}%)".format(c.mean_after_idle, c.mean_after_busy,
+                              c.lingering_pct))
+
+
+def run_fig6():
+    from repro.experiments.fig6 import run_fig6_row
+
+    for component in ("cpu", "dsp", "gpu", "wifi"):
+        row = run_fig6_row(component)
+        rows = [["alone", "{:.0f}".format(row.alone.energy_j * 1000), "--"]]
+        for cell in row.psbox_cells:
+            rows.append(["psbox " + cell.label,
+                         "{:.0f}".format(cell.energy_j * 1000),
+                         "{:+.1f}%".format(cell.delta_pct)])
+        for cell in row.baseline_cells:
+            rows.append(["existing " + cell.label,
+                         "{:.0f}".format(cell.energy_j * 1000),
+                         "{:+.1f}%".format(cell.delta_pct)])
+        print(format_table(["scenario", "mJ", "delta"], rows,
+                           title="Fig 6 — {} row".format(component)))
+        print()
+
+
+def run_fig7():
+    from repro.experiments.fig7 import run_fig7_cpu, run_fig7_dsp
+
+    cpu = run_fig7_cpu(use_psbox=True)
+    print("Fig 7 CPU — {} balloons, {:.0f} ms forced idle".format(
+        len(cpu.windows), cpu.forced_idle_ns / 1e6))
+    dsp = run_fig7_dsp(use_psbox=True)
+    print("Fig 7 DSP — {} balloons, foreign overlap in windows: "
+          "{:.1f} ms".format(len(dsp.windows), dsp.foreign_overlap_ns / 1e6))
+
+
+def run_fig8():
+    from repro.experiments.fig8 import run_fig8 as _run
+
+    for component in ("cpu", "dsp", "gpu", "wifi"):
+        result = _run(component)
+        rows = [[i.name + ("*" if i.sandboxed else ""),
+                 "{:.1f}".format(i.before), "{:.1f}".format(i.after),
+                 "{:+.1f}%".format(-i.loss_pct)]
+                for i in result.instances]
+        print(format_table(["instance", "before", "after", "change"], rows,
+                           title="Fig 8 — {}".format(component)))
+        print()
+
+
+def run_fig9():
+    from repro.experiments.fig9 import fidelity_power_span, run_fig9 as _run
+
+    low, high = fidelity_power_span()
+    result = _run()
+    print("Fig 9 — fidelity span {:.0f}..{:.0f} mW = {:.1f}x".format(
+        low * 1000, high * 1000, high / low))
+    for budget, watts, level in zip(result.budgets_w, result.observed_w,
+                                    result.fidelity):
+        print("  budget {:.2f} W -> observed {:.3f} W at fidelity {}".format(
+            budget, watts, level))
+
+
+def run_sec62():
+    from repro.experiments.sec62 import run_sec62_latency, run_sec62_throughput
+
+    for row in run_sec62_latency():
+        print("latency {:<16} {:8.2f} -> {:8.2f} ms".format(
+            row.component, row.mean_without_ns / 1e6,
+            row.mean_with_ns / 1e6))
+    for row in run_sec62_throughput():
+        print("throughput {:<6} total loss {:5.1f}%  (sandboxed "
+              "{:5.1f}%)".format(row.component, row.total_loss_pct,
+                                 row.sandboxed_loss_pct))
+
+
+def run_sec63():
+    from repro.experiments.sec63 import run_sec63_robustness
+
+    result = run_sec63_robustness()
+    print("Sec 6.3 — browser {:.1f}x slower, triangle {:+.1f}%".format(
+        result.browser_slowdown, -result.triangle_loss_pct))
+
+
+def run_sidechannel():
+    from repro.experiments.sidechannel_exp import run_sidechannel as _run
+
+    result = _run()
+    print("Sec 2.5 — attack success {:.0%} ({:.1f}x random) without "
+          "psbox, {:.0%} with".format(
+              result.without_psbox.success_rate,
+              result.without_psbox.advantage,
+              result.with_psbox.success_rate))
+
+
+EXPERIMENTS = {
+    "fig3": run_fig3,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "sec62": run_sec62,
+    "sec63": run_sec63,
+    "sidechannel": run_sidechannel,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("names", nargs="*",
+                        help="experiments to run, or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.names:
+        print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
+        return 0
+    names = sorted(EXPERIMENTS) if args.names == ["all"] else args.names
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error("unknown experiment {!r} (try --list)".format(name))
+        print("#" * 72)
+        print("# {}".format(name))
+        print("#" * 72)
+        EXPERIMENTS[name]()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Section 2.5: the GPU power side channel, with and without psbox."""
+
+from dataclasses import dataclass
+
+from repro.sidechannel.attack import WebsiteFingerprinter
+
+
+@dataclass
+class SidechannelResult:
+    without_psbox: object      # AttackResult
+    with_psbox: object         # AttackResult
+
+    @property
+    def mitigation_factor(self):
+        if self.with_psbox.success_rate == 0:
+            return float("inf")
+        return self.without_psbox.success_rate / self.with_psbox.success_rate
+
+
+def run_sidechannel(sites=None, trials_per_site=3, seed=1000):
+    """Run the fingerprinting campaign in both worlds."""
+    fingerprinter = WebsiteFingerprinter(sites=sites).train()
+    without = fingerprinter.run(trials_per_site=trials_per_site,
+                                use_psbox=False, seed=seed)
+    with_box = fingerprinter.run(trials_per_site=trials_per_site,
+                                 use_psbox=True, seed=seed)
+    return SidechannelResult(without_psbox=without, with_psbox=with_box)

@@ -1,0 +1,57 @@
+"""Hardware models: the simulated embedded platform.
+
+This package stands in for the paper's two evaluation boards (AM57EVM and
+BeagleBone Black + WiLink8) and their in-situ DAQ power meter.  Every
+component contributes piecewise-constant power terms to a rail; the meter
+resamples rails exactly the way a DAQ ADC would.
+
+The three causes of power entanglement from the paper's Section 2.3 are
+properties of these models, not of any accounting code:
+
+* spatial concurrency — the CPU rail carries shared static + uncore power;
+* blurry request boundaries — accelerators execute commands concurrently
+  with sub-additive combined power;
+* lingering power state — DVFS governors and the NIC tail timer leave state
+  behind that changes the power of subsequent work.
+"""
+
+from repro.hw.accel import Command, CommandEngine
+from repro.hw.cpu import CpuCluster, CpuCore
+from repro.hw.display import OledDisplay
+from repro.hw.dsp import Dsp
+from repro.hw.dvfs import FreqDomain
+from repro.hw.gps import Gps
+from repro.hw.gpu import Gpu
+from repro.hw.lte import LteNic
+from repro.hw.meter import PowerMeter
+from repro.hw.nic import Packet, WifiNic
+from repro.hw.platform import Platform
+from repro.hw.power import (
+    AccelPowerModel,
+    CpuPowerModel,
+    NicPowerModel,
+    OperatingPoint,
+)
+from repro.hw.rail import PowerRail
+
+__all__ = [
+    "AccelPowerModel",
+    "Command",
+    "CommandEngine",
+    "CpuCluster",
+    "CpuCore",
+    "CpuPowerModel",
+    "Dsp",
+    "FreqDomain",
+    "Gps",
+    "Gpu",
+    "LteNic",
+    "NicPowerModel",
+    "OledDisplay",
+    "OperatingPoint",
+    "Packet",
+    "Platform",
+    "PowerMeter",
+    "PowerRail",
+    "WifiNic",
+]

@@ -1,0 +1,68 @@
+"""OLED display model (§7 "Support psbox on extra hardware", item 1).
+
+The paper observes that OLED panels are *free of power entanglement*: each
+pixel contributes independently with no lingering state, so the OS can
+divide display power among apps exactly, by the pixels each one produces —
+no sandbox machinery needed.  We model that: apps own surfaces (a fraction
+of the panel at some intensity); the rail power is a base term plus the
+per-surface pixel power, and per-app power traces are exact by
+construction.
+"""
+
+from repro.sim.trace import StepTrace
+
+
+class OledDisplay:
+    """A panel whose power decomposes exactly per app surface."""
+
+    def __init__(self, sim, rail, name="display", base_w=0.05,
+                 full_panel_w=1.20):
+        self.sim = sim
+        self.rail = rail
+        self.name = name
+        self.base_w = base_w
+        self.full_panel_w = full_panel_w
+        self._surfaces = {}            # app_id -> (fraction, intensity)
+        self.app_traces = {}           # app_id -> StepTrace of watts
+        rail.set_part(name + ".base", base_w)
+
+    def surface_power(self, fraction, intensity):
+        """Watts drawn by a surface covering ``fraction`` of the panel at
+        mean ``intensity`` (both in [0, 1])."""
+        return self.full_panel_w * fraction * intensity
+
+    def set_surface(self, app_id, fraction, intensity):
+        """Replace the app's surface; fraction/intensity in [0, 1]."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("pixel fraction must be within [0, 1]")
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError("intensity must be within [0, 1]")
+        total = sum(
+            frac for aid, (frac, _i) in self._surfaces.items()
+            if aid != app_id
+        ) + fraction
+        if total > 1.0 + 1e-9:
+            raise ValueError("surfaces exceed the panel")
+        self._surfaces[app_id] = (fraction, intensity)
+        watts = self.surface_power(fraction, intensity)
+        self._trace_for(app_id).set(self.sim.now, watts)
+        self.rail.set_part("{}.app{}".format(self.name, app_id), watts)
+
+    def clear_surface(self, app_id):
+        self._surfaces.pop(app_id, None)
+        self._trace_for(app_id).set(self.sim.now, 0.0)
+        self.rail.set_part("{}.app{}".format(self.name, app_id), 0.0)
+
+    def _trace_for(self, app_id):
+        if app_id not in self.app_traces:
+            self.app_traces[app_id] = StepTrace(
+                0.0, name="{}.app{}".format(self.name, app_id)
+            )
+        return self.app_traces[app_id]
+
+    def app_energy(self, app_id, t0, t1):
+        """Exact per-app display energy in joules — no heuristics needed."""
+        trace = self.app_traces.get(app_id)
+        if trace is None:
+            return 0.0
+        return trace.integrate(t0, t1) / 1e9

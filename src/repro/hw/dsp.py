@@ -1,0 +1,39 @@
+"""DSP model (TI C66x-shaped multicore DSP driven over a command queue)."""
+
+from repro.hw.accel import CommandEngine
+from repro.hw.dvfs import FreqDomain
+from repro.hw.power import AccelPowerModel, OperatingPoint
+from repro.sim.clock import from_usec
+
+
+def default_dsp_opps():
+    return (
+        OperatingPoint(400e6, core_active_w=0.0, uncore_w=0.0, static_w=0.02),
+        OperatingPoint(750e6, core_active_w=0.0, uncore_w=0.0, static_w=0.05),
+    )
+
+
+class Dsp(CommandEngine):
+    """A two-core DSP executing offloaded kernels (sgemm, dgemm, ...).
+
+    DSP kernels are long (tens to hundreds of ms), which is why the paper
+    measures ~100 ms extra dispatch latency for temporal-balloon draining on
+    the DSP: draining must wait for the longest outstanding kernel.
+    """
+
+    def __init__(self, sim, rail, power_model=None, opps=None, name="dsp"):
+        opps = opps or default_dsp_opps()
+        freq_domain = FreqDomain(sim, name, opps, initial_index=len(opps) - 1)
+        power_model = power_model or AccelPowerModel(
+            opps=tuple(opps), idle_w=0.02, overlap_factors=(1.0, 0.85)
+        )
+        super().__init__(
+            sim,
+            rail,
+            freq_domain,
+            power_model,
+            name=name,
+            parallelism=2,
+            parallel_efficiency=(1.0, 1.8),
+            completion_delay=from_usec(300),
+        )

@@ -1,0 +1,83 @@
+"""GPS model (§7 "Support psbox on extra hardware", item 2).
+
+GPS has an expensive off/suspended state (cold start re-acquires
+satellites) and an operating state whose power is *unaffected by
+concurrent use*.  Per the paper's rule for off/suspended states (§4.1):
+
+* the kernel never virtualizes the off state (cold-restarting per psbox
+  would be prohibitive), and
+* it must not reveal off/suspend-pertaining power — a malicious app could
+  otherwise infer other apps' GPS usage — so a psbox is fed idle power for
+  every period the device is not in its steady operating state.
+
+Once operating, the hardware power may be revealed to every psbox as-is.
+"""
+
+from repro.sim.clock import from_msec
+from repro.sim.trace import StepTrace
+
+OFF = "off"
+ACQUIRING = "acquiring"   # cold start: exiting the off state
+TRACKING = "tracking"     # steady operating state
+
+
+class Gps:
+    """A shared GPS device with reference-counted use."""
+
+    def __init__(self, sim, rail, name="gps", acquire_time=from_msec(400),
+                 off_w=0.0, acquiring_w=0.45, tracking_w=0.15):
+        self.sim = sim
+        self.rail = rail
+        self.name = name
+        self.acquire_time = acquire_time
+        self.off_w = off_w
+        self.acquiring_w = acquiring_w
+        self.tracking_w = tracking_w
+        self.state = OFF
+        self.users = set()
+        self.state_trace = StepTrace(0.0, name=name + ".state")
+        self._acquire_event = None
+        self._set_state(OFF)
+
+    @property
+    def operating(self):
+        return self.state == TRACKING
+
+    def acquire(self, app_id):
+        """An app starts using GPS; powers the device up if needed."""
+        self.users.add(app_id)
+        if self.state == OFF:
+            self._set_state(ACQUIRING)
+            self._acquire_event = self.sim.call_later(
+                self.acquire_time, self._locked
+            )
+
+    def release(self, app_id):
+        """An app stops using GPS; powers down when nobody is left."""
+        self.users.discard(app_id)
+        if not self.users:
+            if self._acquire_event is not None:
+                self._acquire_event.cancel()
+                self._acquire_event = None
+            self._set_state(OFF)
+
+    def _locked(self):
+        self._acquire_event = None
+        if self.users:
+            self._set_state(TRACKING)
+
+    def _set_state(self, state):
+        self.state = state
+        codes = {OFF: 0.0, ACQUIRING: 1.0, TRACKING: 2.0}
+        self.state_trace.set(self.sim.now, codes[state])
+        watts = {OFF: self.off_w, ACQUIRING: self.acquiring_w,
+                 TRACKING: self.tracking_w}[state]
+        self.rail.set_part(self.name, watts)
+
+    def operating_windows(self, t0, t1):
+        """Periods within [t0, t1) in the steady operating state."""
+        return [
+            (s, e)
+            for s, e, code in self.state_trace.segments(t0, t1)
+            if code == 2.0
+        ]

@@ -1,0 +1,35 @@
+"""GPU model (PowerVR SGX544MP-shaped)."""
+
+from repro.hw.accel import CommandEngine
+from repro.hw.dvfs import FreqDomain
+from repro.hw.power import AccelPowerModel, OperatingPoint
+from repro.sim.clock import from_usec
+
+
+def default_gpu_opps():
+    return (
+        OperatingPoint(200e6, core_active_w=0.0, uncore_w=0.0, static_w=0.02),
+        OperatingPoint(400e6, core_active_w=0.0, uncore_w=0.0, static_w=0.05),
+        OperatingPoint(532e6, core_active_w=0.0, uncore_w=0.0, static_w=0.08),
+    )
+
+
+class Gpu(CommandEngine):
+    """A mobile GPU: 2-deep command pipelining, DVFS, interrupt latency."""
+
+    def __init__(self, sim, rail, power_model=None, opps=None, name="gpu"):
+        opps = opps or default_gpu_opps()
+        freq_domain = FreqDomain(sim, name, opps, initial_index=0)
+        power_model = power_model or AccelPowerModel(
+            opps=tuple(opps), idle_w=0.02
+        )
+        super().__init__(
+            sim,
+            rail,
+            freq_domain,
+            power_model,
+            name=name,
+            parallelism=2,
+            parallel_efficiency=(1.0, 1.55),
+            completion_delay=from_usec(400),
+        )

@@ -1,0 +1,24 @@
+"""The simulated OS kernel.
+
+A work-conserving multicore scheduler (CFS-like), DVFS governors with
+per-context (virtualizable) state, fair command schedulers for accelerators,
+and a fair packet scheduler for the NIC.  psbox (``repro.core``) extends
+these subsystems exactly where the paper extends Linux: the CPU scheduler
+learns coscheduling + loans, and the command/packet schedulers learn
+temporal balloons.
+"""
+
+from repro.kernel.actions import Compute, SendPacket, Sleep, SubmitAccel, WaitAll
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.task import Task
+
+__all__ = [
+    "Compute",
+    "Kernel",
+    "KernelConfig",
+    "SendPacket",
+    "Sleep",
+    "SubmitAccel",
+    "Task",
+    "WaitAll",
+]

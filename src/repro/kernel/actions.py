@@ -1,0 +1,97 @@
+"""Actions a task behaviour may yield to the kernel.
+
+Task behaviours are generators; each yielded action is a request to the
+kernel, mirroring the syscall surface the paper's benchmark apps exercise:
+burn CPU, sleep, offload accelerator commands, transmit packets, or wait for
+outstanding asynchronous work.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Burn ``cycles`` CPU cycles (a compute burst)."""
+
+    cycles: float
+
+    def __post_init__(self):
+        if self.cycles <= 0:
+            raise ValueError("Compute needs positive cycles")
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Block for ``duration`` nanoseconds (timer sleep / frame pacing)."""
+
+    duration: int
+
+    def __post_init__(self):
+        if self.duration < 0:
+            raise ValueError("Sleep needs non-negative duration")
+
+
+@dataclass(frozen=True)
+class SubmitAccel:
+    """Offload one command to an accelerator ("gpu" or "dsp").
+
+    ``wait=True`` blocks the task until the command's completion interrupt;
+    otherwise the command runs asynchronously (track with :class:`WaitAll`).
+    """
+
+    device: str
+    kind: str
+    cycles: float
+    power_w: float
+    wait: bool = True
+
+
+@dataclass(frozen=True)
+class SendPacket:
+    """Deposit one transmit unit with a packet scheduler.
+
+    ``device`` selects the radio ("wifi" or "lte"); ``wait=True`` blocks
+    until the (batched) completion notification.
+    """
+
+    size_bytes: int
+    wait: bool = False
+    device: str = "wifi"
+
+
+@dataclass(frozen=True)
+class UpdateSurface:
+    """Replace the app's display surface (OLED panel share + intensity)."""
+
+    fraction: float
+    intensity: float
+
+
+@dataclass(frozen=True)
+class AcquireGps:
+    """Start using the GPS (powers it up / joins current users)."""
+
+
+@dataclass(frozen=True)
+class ReleaseGps:
+    """Stop using the GPS (powers it down when last user leaves)."""
+
+
+@dataclass(frozen=True)
+class WaitAll:
+    """Block until every outstanding async submission of this task completed."""
+
+
+@dataclass(frozen=True)
+class WaitOutstanding:
+    """Block until fewer than ``limit`` async submissions are outstanding.
+
+    The pipelining primitive: a double-buffered renderer issues frames with
+    ``WaitOutstanding(2)``, a TCP-window sender with ``WaitOutstanding(w)``.
+    """
+
+    limit: int
+
+    def __post_init__(self):
+        if self.limit < 1:
+            raise ValueError("WaitOutstanding needs a positive limit")

@@ -1,0 +1,117 @@
+"""DVFS governors with per-context state.
+
+The governor is ondemand-shaped: jump to the top OPP under high utilization,
+step down under low utilization.  Crucially, *all* governor state (the
+chosen OPP and the in-progress utilization window) is kept per context.
+Contexts are the hook psbox uses for power-state virtualization: every psbox
+gets its own context, plus one shared "world" context for everything else.
+While a context is inactive its DVFS state is frozen; switching contexts
+saves the hardware OPP into the old context and programs the new context's
+OPP — so no app observes another app's lingering frequency state.
+"""
+
+from repro.sim.clock import from_msec
+
+WORLD = "world"
+
+
+class _ContextState:
+    __slots__ = ("index", "busy", "wall")
+
+    def __init__(self, index):
+        self.index = index
+        self.busy = 0.0
+        self.wall = 0
+
+
+class OndemandGovernor:
+    """Ondemand-style governor over a :class:`repro.hw.dvfs.FreqDomain`.
+
+    ``utilization_fn(t0, t1)`` must return the device's mean utilization in
+    [0, 1] over the interval — core-busy fraction for the CPU cluster,
+    inflight fraction for accelerators.
+    """
+
+    def __init__(
+        self,
+        sim,
+        domain,
+        utilization_fn,
+        window=from_msec(25),
+        tick=from_msec(5),
+        up_threshold=0.75,
+        down_threshold=0.30,
+        initial_index=0,
+    ):
+        self.sim = sim
+        self.domain = domain
+        self.utilization_fn = utilization_fn
+        self.window = window
+        self.tick = tick
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.contexts = {WORLD: _ContextState(initial_index)}
+        self.active = WORLD
+        self._last_settle = sim.now
+        domain.set_opp(initial_index)
+        self._tick_event = sim.call_later(tick, self._on_tick)
+        self.enabled = True
+
+    # -- context management (power-state virtualization hook) -------------------
+
+    def context(self, key):
+        if key not in self.contexts:
+            # New contexts start from the lowest OPP: a fresh psbox must not
+            # inherit the world's lingering frequency.
+            self.contexts[key] = _ContextState(0)
+        return self.contexts[key]
+
+    def switch_context(self, key):
+        """Save the active context's OPP, restore ``key``'s OPP."""
+        self._settle()
+        self.contexts[self.active].index = self.domain.index
+        state = self.context(key)
+        self.active = key
+        self.domain.set_opp(state.index)
+
+    def drop_context(self, key):
+        """Forget a context (psbox destroyed)."""
+        if key == WORLD:
+            raise ValueError("cannot drop the world context")
+        self.contexts.pop(key, None)
+        if self.active == key:
+            self.active = WORLD
+            self.domain.set_opp(self.contexts[WORLD].index)
+
+    # -- the governor loop -------------------------------------------------------
+
+    def _settle(self):
+        now = self.sim.now
+        if now > self._last_settle:
+            util = self.utilization_fn(self._last_settle, now)
+            state = self.contexts[self.active]
+            state.busy += util * (now - self._last_settle)
+            state.wall += now - self._last_settle
+        self._last_settle = now
+
+    def _on_tick(self):
+        self._tick_event = self.sim.call_later(self.tick, self._on_tick)
+        if not self.enabled:
+            return
+        self._settle()
+        state = self.contexts[self.active]
+        if state.wall < self.window:
+            return
+        utilization = state.busy / state.wall if state.wall else 0.0
+        state.busy = 0.0
+        state.wall = 0
+        if utilization > self.up_threshold:
+            self.domain.set_opp(self.domain.max_index)
+        elif utilization < self.down_threshold:
+            self.domain.step(-1)
+        state.index = self.domain.index
+
+    def stop(self):
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None

@@ -1,0 +1,202 @@
+"""Tasks: the schedulable threads of an app.
+
+A task's behaviour is a generator yielding :mod:`repro.kernel.actions`
+objects.  The task object is the state machine between the behaviour and the
+kernel subsystems (CPU scheduler, accelerator drivers, packet scheduler).
+"""
+
+from repro.hw.cpu import WorkItem
+from repro.kernel.actions import (
+    AcquireGps,
+    Compute,
+    ReleaseGps,
+    SendPacket,
+    Sleep,
+    SubmitAccel,
+    UpdateSurface,
+    WaitAll,
+    WaitOutstanding,
+)
+
+NEW = "new"
+READY = "ready"        # has a compute burst pending, waiting for / on a CPU
+RUNNING = "running"    # currently on a core
+SLEEPING = "sleeping"  # timer sleep
+BLOCKED = "blocked"    # waiting on device completion(s)
+DONE = "done"
+
+
+class Task:
+    """One thread of an app."""
+
+    def __init__(self, kernel, app, behavior, name="", weight=1.0):
+        self.kernel = kernel
+        self.app = app
+        self.behavior = behavior
+        self.id = kernel.next_task_id()
+        self.name = name or "{}.t{}".format(app.name, self.id)
+        self.weight = float(weight)
+        self.state = NEW
+        self.work = None            # pending/running WorkItem when READY/RUNNING
+        self.core_id = None         # core whose group entity holds us
+        self.member_vruntime = 0.0
+        self.outstanding = 0        # async submissions not yet completed
+        self._waiting_all = False
+        self._outstanding_limit = None
+        self.finished_at = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self):
+        """Begin executing the behaviour (called by the kernel on spawn)."""
+        if self.state != NEW:
+            raise RuntimeError("task {} already started".format(self.name))
+        self._advance(None)
+
+    @property
+    def runnable(self):
+        return self.state == READY
+
+    @property
+    def running(self):
+        return self.state == RUNNING
+
+    @property
+    def alive(self):
+        return self.state != DONE
+
+    # -- behaviour driving -----------------------------------------------------
+
+    def _advance(self, value):
+        """Pull the next action from the behaviour and act on it."""
+        while True:
+            try:
+                action = self.behavior.send(value)
+            except StopIteration:
+                self._finish()
+                return
+            value = None
+            if isinstance(action, Compute):
+                self.work = WorkItem(action.cycles, on_complete=self._burst_done)
+                self.state = READY
+                self.kernel.smp.task_ready(self)
+                return
+            if isinstance(action, Sleep):
+                if action.duration == 0:
+                    continue
+                self.state = SLEEPING
+                self.kernel.smp.task_blocked(self)
+                self.kernel.sim.call_later(action.duration, self._wake)
+                return
+            if isinstance(action, SubmitAccel):
+                self._submit_accel(action)
+                if action.wait:
+                    self.state = BLOCKED
+                    self.kernel.smp.task_blocked(self)
+                    return
+                continue
+            if isinstance(action, SendPacket):
+                self._send_packet(action)
+                if action.wait:
+                    self.state = BLOCKED
+                    self.kernel.smp.task_blocked(self)
+                    return
+                continue
+            if isinstance(action, WaitAll):
+                if self.outstanding == 0:
+                    continue
+                self._waiting_all = True
+                self.state = BLOCKED
+                self.kernel.smp.task_blocked(self)
+                return
+            if isinstance(action, WaitOutstanding):
+                if self.outstanding < action.limit:
+                    continue
+                self._outstanding_limit = action.limit
+                self.state = BLOCKED
+                self.kernel.smp.task_blocked(self)
+                return
+            if isinstance(action, UpdateSurface):
+                self.kernel.platform.display.set_surface(
+                    self.app.id, action.fraction, action.intensity
+                )
+                continue
+            if isinstance(action, AcquireGps):
+                self.kernel.platform.gps.acquire(self.app.id)
+                continue
+            if isinstance(action, ReleaseGps):
+                self.kernel.platform.gps.release(self.app.id)
+                continue
+            raise TypeError(
+                "task {} yielded unknown action {!r}".format(self.name, action)
+            )
+
+    def _finish(self):
+        self.state = DONE
+        self.finished_at = self.kernel.sim.now
+        self.kernel.smp.task_exited(self)
+        self.app.task_finished(self)
+
+    # -- CPU interaction (driven by the scheduler) ------------------------------
+
+    def _burst_done(self, _core):
+        """The current compute burst finished on a core."""
+        self.work = None
+        self.kernel.smp.task_burst_done(self)
+        self._advance(None)
+
+    def _wake(self):
+        if self.state != SLEEPING:
+            return
+        self._advance(None)
+
+    # -- device interaction -----------------------------------------------------
+
+    def _submit_accel(self, action):
+        scheduler = self.kernel.accel_scheduler(action.device)
+        waited = action.wait
+        self.outstanding += 1
+
+        def on_complete(command):
+            self.outstanding -= 1
+            self.app.note_command_complete(action.device, command)
+            self._async_done(waited)
+
+        scheduler.submit(
+            self.app,
+            kind=action.kind,
+            cycles=action.cycles,
+            power_w=action.power_w,
+            on_complete=on_complete,
+        )
+
+    def _send_packet(self, action):
+        waited = action.wait
+        self.outstanding += 1
+
+        def on_complete(packet):
+            self.outstanding -= 1
+            self.app.note_packet_complete(packet)
+            self._async_done(waited)
+
+        scheduler = self.kernel.packet_scheduler(action.device)
+        scheduler.send(self.app, action.size_bytes, on_complete)
+
+    def _async_done(self, was_waited):
+        """A completion arrived; unblock the task if it was waiting for it."""
+        if self.state != BLOCKED:
+            return
+        if was_waited:
+            self._advance(None)
+        elif self._waiting_all and self.outstanding == 0:
+            self._waiting_all = False
+            self._advance(None)
+        elif (
+            self._outstanding_limit is not None
+            and self.outstanding < self._outstanding_limit
+        ):
+            self._outstanding_limit = None
+            self._advance(None)
+
+    def __repr__(self):
+        return "Task({!r}, {})".format(self.name, self.state)

@@ -1,0 +1,40 @@
+"""Discrete-event simulation engine used by every substrate in this repo.
+
+The engine is intentionally small: an event heap over an integer-nanosecond
+clock, generator-based processes, deterministic named RNG streams, and
+piecewise-constant signal traces (the representation of power rails).
+"""
+
+from repro.sim.clock import (
+    MSEC,
+    NSEC,
+    SEC,
+    USEC,
+    from_msec,
+    from_seconds,
+    from_usec,
+    seconds,
+)
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.process import Process, Signal
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import EventTrace, StepTrace
+
+__all__ = [
+    "Event",
+    "EventTrace",
+    "MSEC",
+    "NSEC",
+    "Process",
+    "RngRegistry",
+    "SEC",
+    "Signal",
+    "Simulator",
+    "StepTrace",
+    "USEC",
+    "from_msec",
+    "from_seconds",
+    "from_usec",
+    "seconds",
+]

@@ -1,0 +1,31 @@
+"""Time units and conversions.
+
+All simulation time is kept as integer nanoseconds.  Integer time makes event
+ordering exact and reproducible; floats are used only at analysis boundaries
+(power traces, plots) where exactness no longer matters.
+"""
+
+NSEC = 1
+USEC = 1_000
+MSEC = 1_000_000
+SEC = 1_000_000_000
+
+
+def seconds(t):
+    """Convert integer nanoseconds to float seconds."""
+    return t / SEC
+
+
+def from_seconds(s):
+    """Convert float seconds to integer nanoseconds (rounded)."""
+    return int(round(s * SEC))
+
+
+def from_usec(us):
+    """Convert microseconds to integer nanoseconds."""
+    return int(round(us * USEC))
+
+
+def from_msec(ms):
+    """Convert milliseconds to integer nanoseconds."""
+    return int(round(ms * MSEC))

@@ -1,0 +1,76 @@
+"""The simulator: clock, event loop, process spawning."""
+
+from repro.sim.events import EventQueue
+from repro.sim.process import Process, Signal
+from repro.sim.rng import RngRegistry
+
+
+class Simulator:
+    """Owns the virtual clock and runs events in timestamp order."""
+
+    def __init__(self, seed=0):
+        self._now = 0
+        self._queue = EventQueue()
+        self.rng = RngRegistry(seed)
+        self.processes = []
+
+    @property
+    def now(self):
+        """Current simulation time in integer nanoseconds."""
+        return self._now
+
+    def at(self, time, fn, *args):
+        """Schedule ``fn(*args)`` at an absolute time (>= now)."""
+        if time < self._now:
+            raise ValueError(
+                "cannot schedule at t={} before now={}".format(time, self._now)
+            )
+        return self._queue.push(time, fn, args)
+
+    def call_later(self, delay, fn, *args):
+        """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
+        return self.at(self._now + delay, fn, *args)
+
+    def call_soon(self, fn, *args):
+        """Schedule ``fn(*args)`` at the current instant (after pending ties)."""
+        return self._queue.push(self._now, fn, args)
+
+    def signal(self, name=""):
+        """Create a :class:`Signal` bound to this simulator."""
+        return Signal(self, name)
+
+    def spawn(self, generator, name=""):
+        """Start a generator as a simulation process."""
+        process = Process(self, generator, name).start()
+        self.processes.append(process)
+        return process
+
+    def run(self, until=None):
+        """Run events until the queue drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock always finishes exactly there, even
+        if the queue drained earlier — callers rely on ``now`` afterwards.
+        """
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or (until is not None and next_time > until):
+                break
+            event = self._queue.pop()
+            self._now = event.time
+            event.fn(*event.args)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def step(self):
+        """Run a single event; return False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        event.fn(*event.args)
+        return True
+
+    def pending(self):
+        """Number of live events still queued."""
+        return len(self._queue)

@@ -1,0 +1,68 @@
+"""Event objects and the event queue backing the simulator."""
+
+import heapq
+import itertools
+
+
+class Event:
+    """A scheduled callback.
+
+    Events order by (time, seq); the monotonically increasing sequence number
+    makes ties deterministic (FIFO among events scheduled for the same
+    instant).  Cancelling marks the event dead; the queue drops dead events
+    lazily when they surface.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent this event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return "Event(t={}, seq={}, {}, {})".format(
+            self.time, self.seq, getattr(self.fn, "__name__", self.fn), state
+        )
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event`."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+
+    def __len__(self):
+        return len(self._heap)
+
+    def push(self, time, fn, args):
+        event = Event(time, next(self._counter), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self):
+        """Pop the next live event, or return None when the queue drains."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self):
+        """Time of the next live event, or None.  Prunes dead head entries."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None

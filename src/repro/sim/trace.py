@@ -1,0 +1,153 @@
+"""Trace containers: piecewise-constant signals and timestamped event logs.
+
+``StepTrace`` is the backbone of power metering.  A hardware component sets a
+new value whenever its state changes; between change points the value is
+constant.  Resampling and integration are then exact, which is what lets the
+in-situ meter model behave like a DAQ without simulating every sample as an
+event.
+"""
+
+import bisect
+
+import numpy as np
+
+
+class StepTrace:
+    """A right-continuous step function of time.
+
+    ``set(t, v)`` appends a change point; times must be non-decreasing.
+    Setting twice at the same instant overwrites (last-writer-wins), which is
+    the natural semantics for state changes within one event cascade.
+    """
+
+    def __init__(self, initial=0.0, name=""):
+        self.name = name
+        self._times = [0]
+        self._values = [float(initial)]
+
+    def set(self, t, value):
+        """Record that the signal takes ``value`` from time ``t`` onward."""
+        last = self._times[-1]
+        if t < last:
+            raise ValueError(
+                "trace {!r}: set at t={} before last change t={}".format(
+                    self.name, t, last
+                )
+            )
+        value = float(value)
+        if t == last:
+            self._values[-1] = value
+        else:
+            self._times.append(t)
+            self._values.append(value)
+
+    def add(self, t, delta):
+        """Adjust the signal by ``delta`` from time ``t`` onward."""
+        self.set(t, self.value_at(t) + delta)
+
+    def value_at(self, t):
+        """Signal value at time ``t`` (right-continuous)."""
+        idx = bisect.bisect_right(self._times, t) - 1
+        if idx < 0:
+            return self._values[0]
+        return self._values[idx]
+
+    @property
+    def last_value(self):
+        return self._values[-1]
+
+    @property
+    def last_time(self):
+        return self._times[-1]
+
+    def __len__(self):
+        return len(self._times)
+
+    def segments(self, t0, t1):
+        """Yield (start, end, value) covering exactly [t0, t1)."""
+        if t1 <= t0:
+            return
+        idx = max(bisect.bisect_right(self._times, t0) - 1, 0)
+        start = t0
+        while start < t1:
+            value = self._values[idx]
+            if idx + 1 < len(self._times):
+                end = min(self._times[idx + 1], t1)
+            else:
+                end = t1
+            if end > start:
+                yield (start, end, value)
+            start = end
+            idx += 1
+
+    def integrate(self, t0, t1):
+        """Integral of the signal over [t0, t1) in value*nanoseconds.
+
+        For a power trace in watts, divide by 1e9 to get joules.
+        """
+        total = 0.0
+        for start, end, value in self.segments(t0, t1):
+            total += value * (end - start)
+        return total
+
+    def resample(self, t0, t1, dt):
+        """Sample the signal on the uniform grid t0, t0+dt, ... (< t1).
+
+        Returns ``(times, values)`` numpy arrays; point samples of the step
+        function, the way a DAQ ADC would observe an (ideal) rail signal.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        times = np.arange(t0, t1, dt, dtype=np.int64)
+        change_times = np.asarray(self._times, dtype=np.int64)
+        values = np.asarray(self._values, dtype=np.float64)
+        idx = np.searchsorted(change_times, times, side="right") - 1
+        idx = np.clip(idx, 0, len(values) - 1)
+        return times, values[idx]
+
+    def mean(self, t0, t1):
+        """Time-weighted mean over [t0, t1)."""
+        if t1 <= t0:
+            raise ValueError("empty interval")
+        return self.integrate(t0, t1) / (t1 - t0)
+
+
+class EventTrace:
+    """A flat, append-only log of timestamped records.
+
+    Records are (time, kind, payload) tuples; ``payload`` is a dict.  Used
+    for scheduling decisions, command dispatch/completion, packet activity —
+    anything the experiments later need to slice.
+    """
+
+    def __init__(self, name=""):
+        self.name = name
+        self.records = []
+
+    def log(self, t, kind, **payload):
+        self.records.append((t, kind, payload))
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def filter(self, kind=None, t0=None, t1=None, **match):
+        """Return records matching a kind, time window, and payload fields."""
+        out = []
+        for t, k, payload in self.records:
+            if kind is not None and k != kind:
+                continue
+            if t0 is not None and t < t0:
+                continue
+            if t1 is not None and t >= t1:
+                continue
+            if any(payload.get(key) != value for key, value in match.items()):
+                continue
+            out.append((t, k, payload))
+        return out
+
+    def times(self, kind=None, **match):
+        """Timestamps of matching records."""
+        return [t for t, _, _ in self.filter(kind=kind, **match)]

@@ -1,0 +1,14 @@
+"""Userspace multiplexing points (§7 "Userspace OS daemon").
+
+On Android-like stacks, app requests are often multiplexed *above* the
+kernel, by user-level daemons (the compositor, the media server).  A kernel
+psbox cannot see through them: the daemon owns the device, so every
+command is attributed to the daemon, and its internal queueing re-entangles
+clients the kernel already separated.  The paper's fix is to make the
+daemon's own request multiplexing respect psbox boundaries — implemented
+here for a render-service daemon.
+"""
+
+from repro.userspace.render_service import RenderService
+
+__all__ = ["RenderService"]

@@ -1,0 +1,78 @@
+"""Tests + properties for the usage binning machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accounting.base import bin_owner_trace, bin_step_trace
+from repro.sim.trace import StepTrace
+
+
+def test_bin_step_trace_constant_signal():
+    tr = StepTrace(2.0)
+    out = bin_step_trace(tr, 0, 1000, 100)
+    assert len(out) == 10
+    assert np.allclose(out, 2.0)
+
+
+def test_bin_step_trace_partial_bins():
+    tr = StepTrace(0.0)
+    tr.set(150, 1.0)
+    tr.set(250, 0.0)
+    out = bin_step_trace(tr, 0, 400, 100)
+    assert out[0] == 0.0
+    assert out[1] == pytest.approx(0.5)    # active 150..200 of bin 100..200
+    assert out[2] == pytest.approx(0.5)
+    assert out[3] == 0.0
+
+
+def test_bin_step_trace_empty_range():
+    tr = StepTrace(1.0)
+    assert len(bin_step_trace(tr, 0, 50, 100)) == 0
+
+
+def test_bin_owner_trace_splits_by_owner():
+    tr = StepTrace(-1.0)
+    tr.set(0, 1.0)
+    tr.set(100, 2.0)
+    tr.set(300, -1.0)
+    usages = bin_owner_trace(tr, [1, 2], 0, 400, 100)
+    assert np.allclose(usages[1], [1.0, 0, 0, 0])
+    assert np.allclose(usages[2], [0, 1.0, 1.0, 0])
+
+
+def test_bin_owner_trace_ignores_unknown_owner():
+    tr = StepTrace(9.0)
+    usages = bin_owner_trace(tr, [1], 0, 100, 10)
+    assert np.allclose(usages[1], 0.0)
+
+
+@st.composite
+def random_traces(draw):
+    tr = StepTrace(0.0)
+    t = 0
+    for _ in range(draw(st.integers(0, 15))):
+        t += draw(st.integers(1, 500))
+        tr.set(t, draw(st.sampled_from([0.0, 1.0, 2.0])))
+    return tr
+
+
+@given(random_traces(), st.integers(1, 97))
+@settings(max_examples=60, deadline=None)
+def test_binning_conserves_integral(tr, dt):
+    """Sum of (bin mean x dt) equals the exact integral over the bins."""
+    t1 = 3000 - (3000 % dt)
+    out = bin_step_trace(tr, 0, t1, dt)
+    assert float(out.sum()) * dt == pytest.approx(
+        tr.integrate(0, t1), rel=1e-9, abs=1e-6
+    )
+
+
+@given(random_traces(), st.integers(1, 97))
+@settings(max_examples=40, deadline=None)
+def test_bin_means_bounded_by_signal_range(tr, dt):
+    out = bin_step_trace(tr, 0, 2993 - (2993 % dt), dt)
+    if len(out):
+        assert out.min() >= -1e-12
+        assert out.max() <= 2.0 + 1e-12

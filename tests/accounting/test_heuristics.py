@@ -1,0 +1,111 @@
+"""Tests for the alternative accounting heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.accounting import (
+    EvenSplitAccounting,
+    LastTriggerAccounting,
+    PerSampleUsageAccounting,
+    UtilizationAccounting,
+)
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, SendPacket, Sleep
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC, from_usec
+
+
+@pytest.fixture
+def cpu_corun():
+    platform = Platform.full(seed=7)
+    kernel = Kernel(platform)
+    apps = []
+    for burst in (5e6, 2e6):
+        app = App(kernel, "b{}".format(burst))
+
+        def behavior(burst=burst):
+            while True:
+                yield Compute(burst)
+                yield Sleep(from_usec(300))
+
+        app.spawn(behavior())
+        apps.append(app)
+    platform.sim.run(until=SEC)
+    return platform, [a.id for a in apps]
+
+
+def test_even_split_divides_equally_in_shared_bins(cpu_corun):
+    platform, ids = cpu_corun
+    acct = EvenSplitAccounting(platform, "cpu")
+    _t, shares = acct.shares(ids, 0, 500 * MSEC)
+    both = (shares[ids[0]] > 0) & (shares[ids[1]] > 0)
+    if both.any():
+        np.testing.assert_allclose(
+            shares[ids[0]][both], shares[ids[1]][both], rtol=1e-9
+        )
+
+
+def test_even_split_sums_to_sample(cpu_corun):
+    platform, ids = cpu_corun
+    acct = EvenSplitAccounting(platform, "cpu")
+    times, shares = acct.shares(ids, 0, 500 * MSEC)
+    total = sum(shares.values())
+    _t, watts = platform.meter.sample("cpu", 0, len(times) * acct.dt, acct.dt)
+    active = total > 0
+    np.testing.assert_allclose(total[active], watts[active], rtol=1e-9)
+
+
+def test_last_trigger_assigns_whole_samples(cpu_corun):
+    platform, ids = cpu_corun
+    acct = LastTriggerAccounting(platform, "cpu")
+    times, shares = acct.shares(ids, 0, 500 * MSEC)
+    _t, watts = platform.meter.sample("cpu", 0, len(times) * acct.dt, acct.dt)
+    overlap = (shares[ids[0]] > 0) & (shares[ids[1]] > 0)
+    assert not overlap.any(), "last-trigger must pick a single owner"
+
+
+def test_last_trigger_charges_tail_to_last_user():
+    platform = Platform.full(seed=8)
+    kernel = Kernel(platform)
+    app = App(kernel, "sender")
+
+    def behavior():
+        yield SendPacket(20_000, wait=True)
+
+    app.spawn(behavior())
+    platform.sim.run(until=SEC)
+    acct = LastTriggerAccounting(platform, "wifi", dt=MSEC)
+    energies = acct.energies([app.id], 0, SEC)
+    # The app is charged its transmission plus the whole tail (and, being
+    # the only app ever active, everything after it under last-trigger).
+    tx_only = platform.meter.energy("wifi", 0, 20 * MSEC)
+    assert energies[app.id] > tx_only
+
+
+def test_utilization_accounting_leaves_residual(cpu_corun):
+    platform, ids = cpu_corun
+    full = PerSampleUsageAccounting(platform, "cpu")
+    util = UtilizationAccounting(platform, "cpu")
+    e_full = full.energies(ids, 0, 500 * MSEC)
+    e_util = util.energies(ids, 0, 500 * MSEC)
+    # Utilization scaling never attributes more than proportional split
+    # when the device is partially idle.
+    assert sum(e_util.values()) <= sum(e_full.values()) + 1e-9
+
+
+def test_heuristics_disagree_with_each_other(cpu_corun):
+    """The paper's point: heuristics encode designer beliefs and diverge."""
+    platform, ids = cpu_corun
+    window = (0, 500 * MSEC)
+    results = {
+        "per_sample": PerSampleUsageAccounting(platform, "cpu"),
+        "even": EvenSplitAccounting(platform, "cpu"),
+        "last": LastTriggerAccounting(platform, "cpu"),
+    }
+    energies = {
+        name: acct.energies(ids, *window)[ids[0]]
+        for name, acct in results.items()
+    }
+    values = sorted(energies.values())
+    assert values[-1] > values[0] * 1.02

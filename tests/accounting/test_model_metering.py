@@ -1,0 +1,81 @@
+"""Tests for the linear model-based metering baseline."""
+
+import pytest
+
+from repro.accounting import LinearPowerModel
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC, from_usec
+
+
+def corun_platform(seed=5, horizon=2 * SEC):
+    platform = Platform.am57(seed=seed)
+    kernel = Kernel(platform)
+    for burst in (5e6, 2.5e6):
+        app = App(kernel, "b{}".format(int(burst)))
+
+        def behavior(burst=burst):
+            while True:
+                yield Compute(burst)
+                yield Sleep(from_usec(250))
+
+        app.spawn(behavior())
+    platform.sim.run(until=horizon)
+    return platform, [app.id for app in kernel.apps.values()]
+
+
+def test_fit_and_predict_shapes():
+    platform, ids = corun_platform()
+    model = LinearPowerModel(platform, "cpu").fit(ids, 0, SEC)
+    predicted = model.predict(ids, SEC, 2 * SEC)
+    assert len(predicted) == SEC // model.dt
+
+
+def test_predict_requires_fit():
+    platform, ids = corun_platform()
+    with pytest.raises(RuntimeError):
+        LinearPowerModel(platform, "cpu").predict(ids, 0, SEC)
+
+
+def test_model_tracks_mean_power_roughly():
+    platform, ids = corun_platform()
+    model = LinearPowerModel(platform, "cpu").fit(ids, 0, SEC)
+    assert model.mean_power_error_pct(ids, SEC, 2 * SEC) < 15
+
+
+def test_model_misses_instantaneous_power():
+    """The modeling limitation: DVFS and shared power are not linear in
+    utilization, so per-sample error is substantial even in-distribution."""
+    platform, ids = corun_platform()
+    model = LinearPowerModel(platform, "cpu").fit(ids, 0, SEC)
+    rmse = model.rmse(ids, SEC, 2 * SEC)
+    mean = platform.meter.mean_power("cpu", SEC, 2 * SEC)
+    assert rmse > 0.02 * mean
+
+
+def test_model_breaks_out_of_distribution():
+    """Train on a DVFS-ramping phase, test on a saturated phase: the
+    frequency-dependent power is invisible to utilization features."""
+    platform = Platform.am57(seed=9)
+    kernel = Kernel(platform)
+    app = App(kernel, "rampy")
+
+    def behavior():
+        # Light phase (low freq), then heavy phase (max freq).
+        for _ in range(300):
+            yield Compute(0.4e6)
+            yield Sleep(from_usec(2500))
+        while True:
+            yield Compute(5e6)
+            yield Sleep(from_usec(100))
+
+    app.spawn(behavior())
+    platform.sim.run(until=3 * SEC)
+    ids = [app.id]
+    model = LinearPowerModel(platform, "cpu").fit(ids, 0, SEC)
+    in_dist = model.mean_power_error_pct(ids, 200 * MSEC, 800 * MSEC)
+    out_dist = model.mean_power_error_pct(ids, 2 * SEC, 3 * SEC)
+    assert out_dist > 2 * in_dist
+    assert out_dist > 25

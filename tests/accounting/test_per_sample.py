@@ -1,0 +1,113 @@
+"""Tests for the per-sample usage-proportional accounting (the comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.accounting import PerSampleUsageAccounting
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, Sleep, SubmitAccel
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC, USEC, from_usec
+
+
+@pytest.fixture
+def corun():
+    platform = Platform.full(seed=4)
+    kernel = Kernel(platform)
+    apps = []
+    for name in ("a", "b"):
+        app = App(kernel, name)
+
+        def behavior(app=app):
+            while True:
+                yield Compute(3e6)
+                yield Sleep(from_usec(200))
+
+        app.spawn(behavior())
+        apps.append(app)
+    platform.sim.run(until=SEC)
+    return platform, kernel, apps
+
+
+def test_shares_are_nonnegative(corun):
+    platform, kernel, apps = corun
+    acct = PerSampleUsageAccounting(platform, "cpu")
+    _times, shares = acct.shares([a.id for a in apps], 0, 500 * MSEC)
+    for share in shares.values():
+        assert (share >= 0).all()
+
+
+def test_shares_never_exceed_sample(corun):
+    platform, kernel, apps = corun
+    acct = PerSampleUsageAccounting(platform, "cpu")
+    times, shares = acct.shares([a.id for a in apps], 0, 500 * MSEC)
+    total = sum(shares.values())
+    _t, watts = platform.meter.sample("cpu", 0, int(times[-1]) +
+                                      acct.dt, acct.dt)
+    assert (total <= watts[:len(total)] + 1e-9).all()
+
+
+def test_active_samples_fully_attributed(corun):
+    """Where any app has usage, the whole sample is divided up."""
+    platform, kernel, apps = corun
+    acct = PerSampleUsageAccounting(platform, "cpu")
+    ids = [a.id for a in apps]
+    t1 = 500 * MSEC
+    times, shares = acct.shares(ids, 0, t1)
+    usage = acct.extractor.usage(ids, 0, len(times) * acct.dt, acct.dt)
+    any_usage = sum(usage[i] for i in ids) > 0
+    _t, watts = platform.meter.sample("cpu", 0, len(times) * acct.dt, acct.dt)
+    total = sum(shares.values())
+    np.testing.assert_allclose(total[any_usage], watts[any_usage], rtol=1e-9)
+
+
+def test_single_app_gets_everything_when_alone():
+    platform = Platform.full(seed=5)
+    kernel = Kernel(platform)
+    app = App(kernel, "solo")
+
+    def behavior():
+        for _ in range(20):
+            yield Compute(4e6)
+            yield Sleep(from_usec(100))
+
+    app.spawn(behavior())
+    platform.sim.run(until=SEC)
+    acct = PerSampleUsageAccounting(platform, "cpu")
+    energies = acct.energies([app.id], 0, app.finished_at)
+    # Everything except pure-idle samples belongs to the solo app.
+    rail = platform.meter.energy("cpu", 0, app.finished_at)
+    assert 0 < energies[app.id] <= rail
+
+
+def test_energies_scale_with_dt_consistently(corun):
+    """Finer sampling does not change attributed energy much (and cannot
+    fix entanglement — §2.3)."""
+    platform, kernel, apps = corun
+    ids = [a.id for a in apps]
+    acct = PerSampleUsageAccounting(platform, "cpu")
+    coarse = acct.energies(ids, 0, 400 * MSEC, dt=1 * MSEC)
+    fine = acct.energies(ids, 0, 400 * MSEC, dt=10 * USEC)
+    for app_id in ids:
+        assert fine[app_id] == pytest.approx(coarse[app_id], rel=0.1)
+
+
+def test_gpu_usage_based_split():
+    platform = Platform.full(seed=6)
+    kernel = Kernel(platform)
+    heavy = App(kernel, "heavy")
+    light = App(kernel, "light")
+
+    def flow(app, cycles, power):
+        def behavior():
+            for _ in range(10):
+                yield SubmitAccel("gpu", "x", cycles, power, wait=True)
+        return behavior
+
+    heavy.spawn(flow(heavy, 5e6, 0.9)())
+    light.spawn(flow(light, 1e6, 0.3)())
+    platform.sim.run(until=2 * SEC)
+    acct = PerSampleUsageAccounting(platform, "gpu")
+    energies = acct.energies([heavy.id, light.id], 0, SEC)
+    assert energies[heavy.id] > energies[light.id]

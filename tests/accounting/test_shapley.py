@@ -1,0 +1,92 @@
+"""Tests for Shapley-value accounting (game theory baseline [25])."""
+
+import pytest
+
+from repro.accounting import ShapleyAccounting
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.actions import Sleep, SubmitAccel
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC, from_msec
+
+
+def boot(seed=15):
+    platform = Platform.full(seed=seed)
+    kernel = Kernel(platform)
+    return platform, kernel
+
+
+def gpu_loop(kernel, name, cycles, power, n, gap_ms=2):
+    app = App(kernel, name)
+
+    def behavior():
+        for _ in range(n):
+            yield SubmitAccel("gpu", "k", cycles, power, wait=True)
+            yield Sleep(from_msec(gap_ms))
+
+    app.spawn(behavior())
+    return app
+
+
+def test_only_accelerators_supported():
+    platform, kernel = boot()
+    with pytest.raises(ValueError):
+        ShapleyAccounting(platform, "cpu")
+
+
+def test_dummy_player_gets_zero():
+    platform, kernel = boot()
+    a = gpu_loop(kernel, "a", 2e6, 0.6, 5)
+    idle = App(kernel, "idle")     # never uses the GPU
+    platform.sim.run(until=SEC)
+    shares = ShapleyAccounting(platform, "gpu").energies(
+        [a.id, idle.id], 0, SEC)
+    assert shares[idle.id] == 0.0
+    assert shares[a.id] > 0
+
+
+def test_efficiency_sums_to_active_rail_energy():
+    """Core Shapley axiom: shares sum to the grand-coalition power."""
+    platform, kernel = boot()
+    a = gpu_loop(kernel, "a", 3e6, 0.7, 8, gap_ms=1)
+    b = gpu_loop(kernel, "b", 2e6, 0.5, 10, gap_ms=1)
+    platform.sim.run(until=SEC)
+    acct = ShapleyAccounting(platform, "gpu")
+    shares = acct.energies([a.id, b.id], 0, SEC)
+    residual = acct.unattributed([a.id, b.id], 0, SEC)
+    rail = platform.rails["gpu"].energy(0, SEC)
+    assert sum(shares.values()) + residual == pytest.approx(rail, rel=1e-6)
+    # The residual is idle/static only: strictly positive, small.
+    assert 0 < residual < rail
+
+
+def test_symmetry_for_identical_apps():
+    platform, kernel = boot()
+    a = gpu_loop(kernel, "a", 2e6, 0.6, 20, gap_ms=1)
+    b = gpu_loop(kernel, "b", 2e6, 0.6, 20, gap_ms=1)
+    platform.sim.run(until=2 * SEC)
+    shares = ShapleyAccounting(platform, "gpu").energies(
+        [a.id, b.id], 0, 2 * SEC)
+    assert shares[a.id] == pytest.approx(shares[b.id], rel=0.1)
+
+
+def test_shapley_cannot_undo_entanglement():
+    """Even the game-theoretic division with the *true* hardware model
+    drifts once a co-runner appears — §2.3's conclusion."""
+
+    def share(with_noise):
+        platform, kernel = boot(seed=16)
+        a = gpu_loop(kernel, "main", 2.5e6, 0.7, 12, gap_ms=3)
+        ids = [a.id]
+        if with_noise:
+            noise = gpu_loop(kernel, "noise", 3e6, 0.9, 200, gap_ms=0)
+            ids.append(noise.id)
+        platform.sim.run(until=3 * SEC)
+        assert a.finished
+        return ShapleyAccounting(platform, "gpu").energies(
+            ids, 0, a.finished_at)[a.id]
+
+    alone = share(False)
+    corun = share(True)
+    drift = abs(corun - alone) / alone
+    assert drift > 0.05

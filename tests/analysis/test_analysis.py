@@ -1,0 +1,87 @@
+"""Tests for analysis helpers: energy, metrics, reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import energy_consistency, percent_delta, trace_energy
+from repro.analysis.metrics import latency_summary, throughput, throughput_series
+from repro.analysis.report import format_series, format_table
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC
+
+
+def test_percent_delta():
+    assert percent_delta(110, 100) == pytest.approx(10.0)
+    assert percent_delta(90, 100) == pytest.approx(-10.0)
+    with pytest.raises(ValueError):
+        percent_delta(1, 0)
+
+
+def test_trace_energy():
+    times = np.arange(0, SEC, MSEC, dtype=np.int64)
+    watts = np.full(len(times), 2.0)
+    assert trace_energy(times, watts) == pytest.approx(2.0)
+    assert trace_energy(times[:1], watts[:1]) == 0.0
+
+
+def test_energy_consistency_is_max_abs_deviation():
+    assert energy_consistency(100, [95, 103, 99]) == pytest.approx(5.0)
+
+
+def test_throughput_counts_metric_events():
+    platform = Platform.am57(seed=1)
+    kernel = Kernel(platform)
+    app = App(kernel, "a")
+    for t in (100, 200, 300):
+        platform.sim.call_later(t * MSEC, app.count, "items", 2)
+    platform.sim.run(until=SEC)
+    assert throughput(app, "items", 0, SEC) == pytest.approx(6.0)
+    assert throughput(app, "items", 0, 150 * MSEC) == pytest.approx(
+        2 / 0.15
+    )
+
+
+def test_throughput_series_windows():
+    platform = Platform.am57(seed=1)
+    kernel = Kernel(platform)
+    app = App(kernel, "a")
+    platform.sim.call_later(50 * MSEC, app.count, "items", 1)
+    platform.sim.call_later(150 * MSEC, app.count, "items", 3)
+    platform.sim.run(until=SEC)
+    starts, rates = throughput_series(app, "items", 0, 200 * MSEC, 100 * MSEC)
+    assert len(starts) == 2
+    assert rates[0] == pytest.approx(10.0)
+    assert rates[1] == pytest.approx(30.0)
+
+
+def test_latency_summary():
+    summary = latency_summary([1.0, 2.0, 3.0, 100.0])
+    assert summary["count"] == 4
+    assert summary["mean"] == pytest.approx(26.5)
+    assert summary["max"] == 100.0
+    assert latency_summary([])["count"] == 0
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "val"], [["a", 1], ["long-name", 22]],
+                         title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_series_sparkline():
+    out = format_series([0, 1, 2, 3], label="ramp")
+    assert out.startswith("ramp")
+    assert "[0..3]" in out
+    assert format_series([]) == " (empty)"
+
+
+def test_format_series_downsamples_long_input():
+    out = format_series(range(1000), width=40)
+    # label-less output: "[lo..hi] " + sparkline
+    chars = out.split("] ")[-1]
+    assert len(chars) == 40

@@ -1,0 +1,73 @@
+"""Tests for GPU and DSP benchmark apps."""
+
+import pytest
+
+from repro.apps.dsp_apps import dgemm, monte, sgemm
+from repro.apps.gpu_apps import cube, gpu_browser, magic, triangle
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import SEC
+
+
+def boot(seed=1):
+    platform = Platform.full(seed=seed)
+    return platform, Kernel(platform)
+
+
+def test_browser_page_load_completes():
+    platform, kernel = boot()
+    app = gpu_browser(kernel)
+    platform.sim.run(until=4 * SEC)
+    assert app.finished
+    assert app.counters["bursts"] == 6
+    assert app.counters["gpu_commands"] > 10
+
+
+def test_magic_heavier_than_cube_per_frame():
+    platform, kernel = boot()
+    m = magic(kernel, frames=20)
+    platform.sim.run(until=8 * SEC)
+    t_magic = m.finished_at
+
+    platform2, kernel2 = boot()
+    c = cube(kernel2, frames=20)
+    platform2.sim.run(until=8 * SEC)
+    assert c.finished_at < t_magic
+
+
+def test_triangle_saturates_gpu():
+    platform, kernel = boot()
+    triangle(kernel, draws=1000)
+    platform.sim.run(until=SEC)
+    assert platform.gpu.utilization(100_000_000, SEC) > 0.95
+
+
+def test_dgemm_kernels_longer_than_monte():
+    platform, kernel = boot()
+    d = dgemm(kernel, iterations=3)
+    platform.sim.run(until=8 * SEC)
+    d_time = d.finished_at
+
+    platform2, kernel2 = boot()
+    m = monte(kernel2, iterations=3)
+    platform2.sim.run(until=8 * SEC)
+    assert m.finished_at < d_time
+
+
+def test_sgemm_counts_gflop():
+    platform, kernel = boot()
+    app = sgemm(kernel, iterations=5)
+    platform.sim.run(until=8 * SEC)
+    assert app.finished
+    assert app.counters["gflop"] == pytest.approx(5 * 0.40)
+
+
+def test_gpu_apps_share_via_fair_scheduler():
+    platform, kernel = boot()
+    a = cube(kernel, frames=100000)
+    b = cube(kernel, name="cube2", frames=100000)
+    platform.sim.run(until=2 * SEC)
+    ra = a.rate("gpu_commands", SEC, 2 * SEC)
+    rb = b.rate("gpu_commands", SEC, 2 * SEC)
+    assert ra > 0 and rb > 0
+    assert max(ra, rb) / min(ra, rb) < 1.3

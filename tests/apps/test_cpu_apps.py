@@ -1,0 +1,73 @@
+"""Tests for the CPU benchmark apps (Table 5)."""
+
+import pytest
+
+from repro.apps.cpu_apps import bodytrack, calib3d, dedup
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import SEC
+
+
+def boot(seed=1):
+    platform = Platform.am57(seed=seed)
+    return platform, Kernel(platform)
+
+
+def test_calib3d_finishes_and_counts_kb():
+    platform, kernel = boot()
+    app = calib3d(kernel, iterations=10)
+    platform.sim.run(until=4 * SEC)
+    assert app.finished
+    assert app.counters["kb"] == pytest.approx(10 * 3.0)
+
+
+def test_bodytrack_spawns_two_workers():
+    platform, kernel = boot()
+    app = bodytrack(kernel, iterations=5)
+    assert len(app.tasks) == 2
+    platform.sim.run(until=4 * SEC)
+    assert app.finished
+    assert app.counters["kb"] == pytest.approx(5 * 2 * 2.0)
+
+
+def test_dedup_is_lighter_than_calib3d():
+    platform, kernel = boot()
+    a = calib3d(kernel, iterations=30)
+    platform.sim.run(until=8 * SEC)
+    t_calib = a.finished_at
+
+    platform2, kernel2 = boot()
+    b = dedup(kernel2, iterations=30)
+    platform2.sim.run(until=8 * SEC)
+    # dedup bursts are ~3x smaller; its CPU busy time is smaller even
+    # though its I/O waits stretch the wall clock.
+    busy_calib = platform.cpu.busy_traces[0].integrate(0, t_calib) + \
+        platform.cpu.busy_traces[1].integrate(0, t_calib)
+    busy_dedup = platform2.cpu.busy_traces[0].integrate(0, b.finished_at) + \
+        platform2.cpu.busy_traces[1].integrate(0, b.finished_at)
+    assert busy_dedup < busy_calib
+
+
+def test_runs_are_reproducible_per_seed():
+    platform1, kernel1 = boot(seed=3)
+    a1 = calib3d(kernel1, iterations=15)
+    platform1.sim.run(until=8 * SEC)
+
+    platform2, kernel2 = boot(seed=3)
+    a2 = calib3d(kernel2, iterations=15)
+    platform2.sim.run(until=8 * SEC)
+    assert a1.finished_at == a2.finished_at
+
+    platform3, kernel3 = boot(seed=4)
+    a3 = calib3d(kernel3, iterations=15)
+    platform3.sim.run(until=8 * SEC)
+    assert a3.finished_at != a1.finished_at
+
+
+def test_apps_drive_cpu_rail_power():
+    platform, kernel = boot()
+    calib3d(kernel, iterations=40)
+    platform.sim.run(until=SEC)
+    # Active power must be well above idle at some point.
+    peak = max(v for _t, v in zip(*platform.meter.sample("cpu", 0, SEC)))
+    assert peak > 5 * platform.cpu.power_model.idle_w

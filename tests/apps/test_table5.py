@@ -1,0 +1,51 @@
+"""The Table 5 registry: every benchmark app boots and makes progress."""
+
+import pytest
+
+from repro.apps import TABLE5
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import SEC
+
+SMALL = {
+    "bodytrack": {"iterations": 5},
+    "calib3d": {"iterations": 5},
+    "dedup": {"iterations": 5},
+    "browser": {},
+    "magic": {"frames": 5},
+    "cube": {"frames": 5},
+    "triangle": {"draws": 5},
+    "sgemm": {"iterations": 2},
+    "dgemm": {"iterations": 2},
+    "monte": {"iterations": 3},
+    "scp": {"total_bytes": 100_000},
+    "wget": {"total_bytes": 100_000},
+}
+
+
+def test_registry_matches_the_paper():
+    assert set(TABLE5) == {"cpu", "gpu", "dsp", "wifi"}
+    assert set(TABLE5["cpu"]) == {"bodytrack", "calib3d", "dedup"}
+    assert set(TABLE5["gpu"]) == {"browser", "magic", "cube", "triangle"}
+    assert set(TABLE5["dsp"]) == {"sgemm", "dgemm", "monte"}
+    assert set(TABLE5["wifi"]) == {"browser", "scp", "wget"}
+
+
+@pytest.mark.parametrize("component,name", [
+    (component, name)
+    for component, apps in sorted(TABLE5.items())
+    for name in sorted(apps)
+])
+def test_every_benchmark_runs_to_completion(component, name):
+    platform = Platform.full(seed=2)
+    kernel = Kernel(platform)
+    factory = TABLE5[component][name]
+    app = factory(kernel, **SMALL[name])
+    platform.sim.run(until=8 * SEC)
+    assert app.finished, "{}:{} did not finish".format(component, name)
+    # Each app drives its component's rail above idle at some point.
+    rail = platform.rails[component]
+    idle = platform.idle_power(component)
+    _t, watts = platform.meter.sample(component, 0, app.finished_at,
+                                      dt=1_000_000)
+    assert watts.max() > idle * 1.5

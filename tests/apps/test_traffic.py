@@ -1,0 +1,56 @@
+"""Tests for inbound traffic sources."""
+
+import pytest
+
+from repro.apps.traffic import inbound_stream
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC
+
+
+def test_counted_stream_delivers_exactly_n():
+    platform = Platform.full(seed=3)
+    Kernel(platform)
+    inbound_stream(platform, app_id=7, count=5, period_ms=20)
+    platform.sim.run(until=SEC)
+    assert len(platform.nic.log.filter(kind="rx_end", app=7)) == 5
+
+
+def test_endless_stream_keeps_delivering():
+    platform = Platform.full(seed=3)
+    Kernel(platform)
+    process = inbound_stream(platform, app_id=7, period_ms=25)
+    platform.sim.run(until=SEC)
+    received = len(platform.nic.log.filter(kind="rx_end", app=7))
+    assert received > 20
+    process.kill()
+    platform.sim.run(until=2 * SEC)
+    assert len(platform.nic.log.filter(kind="rx_end", app=7)) == received
+
+
+def test_lte_inbound_via_explicit_nic():
+    platform = Platform.extended(seed=3)
+    Kernel(platform)
+    inbound_stream(platform, app_id=9, count=3, nic=platform.lte,
+                   period_ms=40)
+    platform.sim.run(until=2 * SEC)
+    assert len(platform.lte.log.filter(kind="rx_end", app=9)) == 3
+
+
+def test_requires_a_nic():
+    platform = Platform.am57(seed=3)
+    Kernel(platform)
+    with pytest.raises(ValueError):
+        inbound_stream(platform, app_id=1)
+
+
+def test_jitter_is_reproducible_per_seed():
+    def times(seed):
+        platform = Platform.full(seed=seed)
+        Kernel(platform)
+        inbound_stream(platform, app_id=7, count=6, period_ms=20)
+        platform.sim.run(until=SEC)
+        return platform.nic.log.times(kind="rx_end", app=7)
+
+    assert times(1) == times(1)
+    assert times(1) != times(2)

@@ -1,0 +1,78 @@
+"""Tests for the VR use-case app (§6.4)."""
+
+import pytest
+
+from repro.apps.vr import FIDELITY_LEVELS, VrApp
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import SEC, from_msec
+
+
+def boot(seed=17):
+    platform = Platform.am57(seed=seed)
+    return platform, Kernel(platform)
+
+
+def test_fidelity_levels_monotone_in_demand():
+    rates = [cycles / period for period, cycles in FIDELITY_LEVELS]
+    assert rates == sorted(rates)
+
+
+def test_both_tasks_run_continuously():
+    platform, kernel = boot()
+    vr = VrApp(kernel, budget_w=None, fidelity=3, duration=int(0.8 * SEC))
+    platform.sim.run(until=SEC)
+    assert vr.gesture_app.counters["gesture_frames"] > 10
+    assert vr.render_app.counters["render_frames"] > 10
+
+
+def test_rendering_observes_power_in_psbox():
+    platform, kernel = boot()
+    vr = VrApp(kernel, budget_w=0.3, fidelity=3, duration=int(1.5 * SEC))
+    platform.sim.run(until=2 * SEC)
+    assert vr.power_history, "no psbox power observations recorded"
+    assert all(w >= 0 for _t, w in vr.power_history)
+
+
+def test_controller_tracks_budget():
+    platform, kernel = boot()
+    budget = 0.25
+    vr = VrApp(kernel, budget_w=budget, fidelity=5, duration=int(3 * SEC))
+    platform.sim.run(until=int(3 * SEC))
+    # Steady-state observed power lands near the budget.
+    tail = [w for _t, w in vr.power_history[-5:]]
+    mean = sum(tail) / len(tail)
+    assert mean < budget * 1.5
+    assert mean > budget * 0.4
+
+
+def test_low_budget_drives_fidelity_down():
+    platform, kernel = boot()
+    vr = VrApp(kernel, budget_w=0.08, fidelity=5, duration=int(2 * SEC))
+    platform.sim.run(until=int(2 * SEC))
+    assert vr.fidelity <= 1
+    assert vr.fidelity_history, "fidelity should have changed"
+
+
+def test_generous_budget_drives_fidelity_up():
+    platform, kernel = boot()
+    vr = VrApp(kernel, budget_w=1.5, fidelity=0, duration=int(2 * SEC))
+    platform.sim.run(until=int(2 * SEC))
+    assert vr.fidelity >= 4
+
+
+def test_without_psbox_no_observation():
+    platform, kernel = boot()
+    vr = VrApp(kernel, budget_w=0.3, fidelity=3, use_psbox=False,
+               duration=int(0.5 * SEC))
+    platform.sim.run(until=SEC)
+    assert vr.psbox is None
+    assert vr.power_history == []
+
+
+def test_stop_leaves_psbox():
+    platform, kernel = boot()
+    vr = VrApp(kernel, budget_w=0.3, fidelity=3)
+    platform.sim.run(until=int(0.3 * SEC))
+    vr.stop()
+    assert not vr.psbox.entered

@@ -1,0 +1,58 @@
+"""Tests for the synthetic website signatures."""
+
+import numpy as np
+
+from repro.apps.websites import WEBSITES, browse_website
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC
+
+
+def test_ten_distinct_sites():
+    assert len(WEBSITES) == 10
+    signatures = {tuple(
+        (round(g, 3), tuple((k, round(c), round(p, 3)) for k, c, p in cmds))
+        for g, cmds in bursts
+    ) for bursts in (tuple(b) for b in WEBSITES.values())}
+    assert len(signatures) == 10, "site signatures must differ"
+
+
+def test_signatures_are_deterministic():
+    from repro.apps.websites import _signature
+    assert _signature(3) == _signature(3)
+    assert _signature(3) != _signature(4)
+
+
+def test_browse_produces_site_specific_power_trace():
+    def trace(site, seed):
+        platform = Platform.full(seed=seed)
+        kernel = Kernel(platform)
+        browse_website(kernel, site)
+        platform.sim.run(until=600 * MSEC)
+        _t, watts = platform.meter.sample("gpu", 0, 600 * MSEC, 2 * MSEC)
+        return watts
+
+    google_a = trace("google", 1)
+    google_b = trace("google", 2)
+    youtube = trace("youtube", 1)
+    # Same site, different jitter: similar traces.  Different sites: less so.
+    same = np.linalg.norm(google_a - google_b)
+    different = np.linalg.norm(google_a - youtube)
+    assert same < different
+
+
+def test_unknown_site_rejected():
+    platform = Platform.full(seed=1)
+    kernel = Kernel(platform)
+    import pytest
+    with pytest.raises(KeyError):
+        browse_website(kernel, "myspace")
+
+
+def test_page_completes():
+    platform = Platform.full(seed=1)
+    kernel = Kernel(platform)
+    app = browse_website(kernel, "reddit")
+    platform.sim.run(until=2 * SEC)
+    assert app.finished
+    assert app.counters["pages"] == 1

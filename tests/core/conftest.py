@@ -1,0 +1,53 @@
+"""Shared fixtures for psbox tests."""
+
+import pytest
+
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, SendPacket, Sleep, SubmitAccel
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import from_usec
+
+
+@pytest.fixture
+def booted():
+    platform = Platform.full(seed=2)
+    kernel = Kernel(platform)
+    return platform, kernel
+
+
+def cpu_spinner(kernel, name="spin", burst=4e6, pause_us=150):
+    app = App(kernel, name)
+
+    def behavior():
+        while True:
+            yield Compute(burst)
+            app.count("work", 1)
+            yield Sleep(from_usec(pause_us))
+
+    app.spawn(behavior())
+    return app
+
+
+def gpu_client(kernel, name="gpuapp", cycles=2e6, power=0.6, gap_us=500):
+    app = App(kernel, name)
+
+    def behavior():
+        while True:
+            yield SubmitAccel("gpu", "draw", cycles, power, wait=True)
+            yield Sleep(from_usec(gap_us))
+
+    app.spawn(behavior())
+    return app
+
+
+def wifi_client(kernel, name="netapp", size=24_000, gap_us=2000):
+    app = App(kernel, name)
+
+    def behavior():
+        while True:
+            yield SendPacket(size, wait=True)
+            yield Sleep(from_usec(gap_us))
+
+    app.spawn(behavior())
+    return app

@@ -1,0 +1,164 @@
+"""Tests for activation-based (user-level) coscheduling (§7 alternative)."""
+
+import pytest
+
+from repro.apps.base import App
+from repro.core.activations import UserLevelCoscheduler
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC, from_usec
+
+
+def boot(seed=51):
+    platform = Platform.am57(seed=seed)
+    kernel = Kernel(platform)
+    return platform, kernel
+
+
+def worker_app(kernel, name, burst=4e6, pause_us=150):
+    app = App(kernel, name)
+
+    def behavior():
+        while True:
+            yield Compute(burst)
+            app.count("work", 1)
+            yield Sleep(from_usec(pause_us))
+
+    app.spawn(behavior())
+    return app
+
+
+def test_dummies_fill_unused_cores():
+    platform, kernel = boot()
+    app = worker_app(kernel, "boxed")
+    cosched = UserLevelCoscheduler(kernel, app)
+    cosched.engage()
+    platform.sim.run(until=SEC)
+    # With one real thread on two cores, the dummy keeps the sibling busy:
+    # total cluster utilization approaches 2 cores.
+    assert platform.cpu.utilization(200 * MSEC, SEC) > 0.85
+    windows = cosched.observation_windows(200 * MSEC, SEC)
+    covered = sum(hi - lo for lo, hi in windows)
+    assert covered > 0.5 * (SEC - 200 * MSEC)
+
+
+def test_dummies_park_when_real_threads_sleep():
+    platform, kernel = boot()
+    app = App(kernel, "bursty")
+
+    def behavior():
+        while True:
+            yield Compute(3e6)
+            yield Sleep(20 * MSEC)
+
+    app.spawn(behavior())
+    cosched = UserLevelCoscheduler(kernel, app)
+    cosched.engage()
+    platform.sim.run(until=SEC)
+    # Long sleeps: the machine must NOT stay pinned by dummies.
+    assert platform.cpu.utilization(200 * MSEC, SEC) < 0.6
+
+
+def test_disengage_stops_dummies():
+    platform, kernel = boot()
+    app = worker_app(kernel, "boxed")
+    cosched = UserLevelCoscheduler(kernel, app)
+    cosched.engage()
+    platform.sim.run(until=300 * MSEC)
+    cosched.disengage()
+    platform.sim.run(until=SEC)
+    assert platform.cpu.utilization(400 * MSEC, SEC) < 0.7
+
+
+def test_boundary_is_statistical_not_enforced():
+    """Unlike kernel balloons, a competitor still gets (some) CPU inside
+    the 'windows' era: dummies only compete, they cannot exclude."""
+    platform, kernel = boot()
+    app = worker_app(kernel, "boxed")
+    other = worker_app(kernel, "other")
+    cosched = UserLevelCoscheduler(kernel, app)
+    cosched.engage()
+    platform.sim.run(until=2 * SEC)
+    assert other.rate("work", SEC, 2 * SEC) > 0, (
+        "CFS must still serve the competitor"
+    )
+
+
+def test_activation_insulation_weaker_than_kernel_psbox():
+    """Head-to-head with the kernel mechanism on the same workload."""
+
+    def kernel_psbox_drift(seed):
+        def run(with_noise):
+            platform, kern = boot(seed)
+            app = App(kern, "main")
+
+            def behavior():
+                for _ in range(25):
+                    yield Compute(5e6)
+                    yield Sleep(from_usec(200))
+
+            app.spawn(behavior())
+            box = app.create_psbox(("cpu",))
+            box.enter()
+            if with_noise:
+                worker_app(kern, "noise")
+            platform.sim.run(until=6 * SEC)
+            assert app.finished
+            return box.vmeter.energy(0, app.finished_at)
+
+        alone, corun = run(False), run(True)
+        return abs(corun - alone) / alone
+
+    def activation_drift(seed):
+        def run(with_noise):
+            platform, kern = boot(seed)
+            app = App(kern, "main")
+
+            def behavior():
+                for _ in range(25):
+                    yield Compute(5e6)
+                    yield Sleep(from_usec(200))
+
+            main_task = app.spawn(behavior())
+            cosched = UserLevelCoscheduler(kern, app)
+            cosched.engage()
+            if with_noise:
+                worker_app(kern, "noise")
+            platform.sim.run(until=6 * SEC)
+            assert not main_task.alive
+            return cosched.energy(0, main_task.finished_at)
+
+        alone, corun = run(False), run(True)
+        return abs(corun - alone) / alone
+
+    kernel_drift = kernel_psbox_drift(52)
+    act_drift = activation_drift(52)
+    assert kernel_drift < act_drift, (
+        "kernel balloons ({:.1%}) should insulate better than activations "
+        "({:.1%})".format(kernel_drift, act_drift)
+    )
+
+
+def test_dummy_power_overhead_vs_forced_idle():
+    """Dummies spin: the activation approach burns more power than kernel
+    balloons, whose excluded cores idle."""
+
+    def mean_power(use_activations):
+        platform, kern = boot(53)
+        app = App(kern, "main")
+
+        def behavior():
+            while True:
+                yield Compute(5e6)
+                yield Sleep(from_usec(200))
+
+        app.spawn(behavior())
+        if use_activations:
+            UserLevelCoscheduler(kern, app).engage()
+        else:
+            app.create_psbox(("cpu",)).enter()
+        platform.sim.run(until=SEC)
+        return platform.meter.mean_power("cpu", 300 * MSEC, SEC)
+
+    assert mean_power(True) > 1.2 * mean_power(False)

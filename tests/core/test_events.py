@@ -1,0 +1,144 @@
+"""Tests for the power-event API (§8.2)."""
+
+import pytest
+
+from repro.apps.base import App
+from repro.core.events import (
+    MonotonicIncrease,
+    PowerEventMonitor,
+    SpikeDetected,
+    ThresholdAbove,
+)
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC, from_msec
+
+
+def booted():
+    platform = Platform.am57(seed=8)
+    kernel = Kernel(platform)
+    return platform, kernel
+
+
+def phased_app(kernel, quiet_ms, busy_ms):
+    """Idle for quiet_ms, then continuous compute for busy_ms, repeat."""
+    app = App(kernel, "phased")
+
+    def behavior():
+        while True:
+            yield Sleep(from_msec(quiet_ms))
+            deadline = kernel.now + from_msec(busy_ms)
+            while kernel.now < deadline:
+                yield Compute(2e6)
+
+    app.spawn(behavior())
+    return app
+
+
+# -- predicate units --------------------------------------------------------------
+
+
+def test_threshold_predicate():
+    predicate = ThresholdAbove(1.0, min_samples=2)
+    assert predicate.check([(0, 2.0)]) is None          # too few samples
+    assert predicate.check([(0, 2.0), (1, 0.5)]) is None
+    payload = predicate.check([(0, 2.0), (1, 3.0)])
+    assert payload["watts"] == 3.0
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        ThresholdAbove(1.0, min_samples=0)
+
+
+def test_spike_predicate():
+    predicate = SpikeDetected(factor=2.0, window=3)
+    history = [(i, 0.5) for i in range(3)] + [(3, 2.0)]
+    assert predicate.check(history)["watts"] == 2.0
+    flat = [(i, 0.5) for i in range(4)]
+    assert predicate.check(flat) is None
+    with pytest.raises(ValueError):
+        SpikeDetected(factor=1.0)
+
+
+def test_monotonic_predicate():
+    predicate = MonotonicIncrease(n=3)
+    rising = [(0, 0.1), (1, 0.2), (2, 0.3)]
+    assert predicate.check(rising)["to_w"] == 0.3
+    assert predicate.check([(0, 0.3), (1, 0.2), (2, 0.4)]) is None
+    with pytest.raises(ValueError):
+        MonotonicIncrease(n=1)
+
+
+# -- the monitor -------------------------------------------------------------------
+
+
+def test_monitor_fires_on_high_power_phase():
+    platform, kernel = booted()
+    app = phased_app(kernel, quiet_ms=150, busy_ms=150)
+    box = app.create_psbox(("cpu",))
+    box.enter()
+    events = []
+    monitor = PowerEventMonitor(box, period=from_msec(25)).start()
+    monitor.subscribe(ThresholdAbove(0.4, min_samples=2),
+                      lambda t, payload: events.append((t, payload)))
+    platform.sim.run(until=SEC)
+    monitor.stop()
+    assert events, "no high-power events despite busy phases"
+    # Events land inside busy phases (power well above idle).
+    for _t, payload in events:
+        assert payload["watts"] > 0.4
+
+
+def test_monitor_is_edge_triggered():
+    platform, kernel = booted()
+    app = phased_app(kernel, quiet_ms=200, busy_ms=200)
+    box = app.create_psbox(("cpu",))
+    box.enter()
+    monitor = PowerEventMonitor(box, period=from_msec(20)).start()
+    monitor.subscribe(ThresholdAbove(0.4))
+    platform.sim.run(until=int(1.6 * SEC))
+    monitor.stop()
+    # ~4 busy phases -> ~4 events, not one per tick.
+    assert 2 <= len(monitor.events) <= 6
+
+
+def test_monitor_spike_on_burst_start():
+    platform, kernel = booted()
+    app = phased_app(kernel, quiet_ms=300, busy_ms=100)
+    box = app.create_psbox(("cpu",))
+    box.enter()
+    monitor = PowerEventMonitor(box, period=from_msec(25)).start()
+    monitor.subscribe(SpikeDetected(factor=3.0, window=4))
+    platform.sim.run(until=int(1.5 * SEC))
+    monitor.stop()
+    assert monitor.events
+
+
+def test_monitor_pauses_while_psbox_left():
+    platform, kernel = booted()
+    app = phased_app(kernel, quiet_ms=50, busy_ms=300)
+    box = app.create_psbox(("cpu",))
+    box.enter()
+    monitor = PowerEventMonitor(box, period=from_msec(25)).start()
+    monitor.subscribe(ThresholdAbove(0.4))
+    platform.sim.run(until=200 * MSEC)
+    box.leave()
+    count_at_leave = len(monitor.history)
+    platform.sim.run(until=600 * MSEC)
+    assert len(monitor.history) == count_at_leave
+    monitor.stop()
+
+
+def test_monitor_stop_cancels_ticks():
+    platform, kernel = booted()
+    app = phased_app(kernel, quiet_ms=50, busy_ms=300)
+    box = app.create_psbox(("cpu",))
+    box.enter()
+    monitor = PowerEventMonitor(box, period=from_msec(25)).start()
+    platform.sim.run(until=100 * MSEC)
+    monitor.stop()
+    n = len(monitor.history)
+    platform.sim.run(until=SEC)
+    assert len(monitor.history) == n

@@ -1,0 +1,227 @@
+"""psbox behaviour on the §7 extension hardware: display, GPS, LTE."""
+
+import pytest
+
+from repro.accounting import PixelAccounting
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.actions import (
+    AcquireGps,
+    ReleaseGps,
+    SendPacket,
+    Sleep,
+    UpdateSurface,
+    WaitAll,
+)
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC, from_msec
+
+
+@pytest.fixture
+def booted():
+    platform = Platform.extended(seed=3)
+    kernel = Kernel(platform)
+    return platform, kernel
+
+
+# -- display ---------------------------------------------------------------------
+
+
+def test_display_psbox_reads_exact_surface_energy(booted):
+    platform, kernel = booted
+    app = App(kernel, "ui")
+
+    def behavior():
+        yield UpdateSurface(0.5, 0.8)
+        yield Sleep(400 * MSEC)
+        yield UpdateSurface(0.5, 0.2)   # dimmed
+        yield Sleep(400 * MSEC)
+
+    app.spawn(behavior())
+    box = app.create_psbox(("display",))
+    box.enter()
+    platform.sim.run(until=SEC)
+    observed = box.vmeter.energy(0, 800 * MSEC)
+    display = platform.display
+    expected = (display.surface_power(0.5, 0.8) * 0.4
+                + display.surface_power(0.5, 0.2) * 0.4)
+    assert observed == pytest.approx(expected, rel=1e-6)
+
+
+def test_display_insulated_from_other_surfaces(booted):
+    platform, kernel = booted
+    app = App(kernel, "ui")
+    other = App(kernel, "status_bar")
+
+    def mine():
+        yield UpdateSurface(0.4, 0.5)
+        yield Sleep(500 * MSEC)
+
+    def theirs():
+        yield UpdateSurface(0.5, 1.0)
+        yield Sleep(500 * MSEC)
+
+    app.spawn(mine())
+    other.spawn(theirs())
+    box = app.create_psbox(("display",))
+    box.enter()
+    platform.sim.run(until=SEC)
+    observed = box.vmeter.energy(0, 500 * MSEC)
+    expected = platform.display.surface_power(0.4, 0.5) * 0.5
+    assert observed == pytest.approx(expected, rel=1e-6)
+
+
+def test_pixel_accounting_matches_psbox_for_display(booted):
+    """The paper's point: OLED needs no sandbox — division is exact."""
+    platform, kernel = booted
+    a = App(kernel, "a")
+    b = App(kernel, "b")
+
+    def surface(app, fraction, intensity):
+        def behavior():
+            yield UpdateSurface(fraction, intensity)
+            yield Sleep(600 * MSEC)
+        return behavior
+
+    a.spawn(surface(a, 0.3, 0.9)())
+    b.spawn(surface(b, 0.6, 0.5)())
+    box = a.create_psbox(("display",))
+    box.enter()
+    platform.sim.run(until=SEC)
+    accounting = PixelAccounting(platform)
+    shares = accounting.energies([a.id, b.id], 0, 600 * MSEC)
+    assert box.vmeter.energy(0, 600 * MSEC) == pytest.approx(
+        shares[a.id], rel=1e-9
+    )
+    assert accounting.unattributed([a.id, b.id], 0, 600 * MSEC) == \
+        pytest.approx(platform.display.base_w * 0.6, rel=1e-6)
+
+
+def test_multiple_display_psboxes_coexist(booted):
+    platform, kernel = booted
+    a = App(kernel, "a")
+    b = App(kernel, "b")
+    box_a = a.create_psbox(("display",))
+    box_b = b.create_psbox(("display",))
+    box_a.enter()
+    box_b.enter()       # no exclusivity needed for direct components
+    assert box_a.entered and box_b.entered
+
+
+# -- GPS -------------------------------------------------------------------------
+
+
+def test_gps_psbox_sees_operating_power_only(booted):
+    platform, kernel = booted
+    app = App(kernel, "nav")
+
+    def behavior():
+        yield AcquireGps()
+        yield Sleep(SEC)
+        yield ReleaseGps()
+
+    app.spawn(behavior())
+    box = app.create_psbox(("gps",))
+    box.enter()
+    platform.sim.run(until=int(1.5 * SEC))
+    gps = platform.gps
+    # Observed energy = tracking power over the operating window only;
+    # the cold start (0.4 s at 0.45 W) is hidden.
+    operating = SEC - gps.acquire_time
+    expected = gps.tracking_w * operating / 1e9
+    observed = box.vmeter.energy(0, int(1.5 * SEC))
+    assert observed == pytest.approx(expected, rel=1e-6)
+
+
+def test_gps_psbox_cannot_infer_other_apps_usage(booted):
+    """While another app cold-starts the GPS, a psbox reads pure idle —
+    the §4.1 off/suspended-state rule."""
+    platform, kernel = booted
+    observer = App(kernel, "observer")
+    user = App(kernel, "navigator")
+
+    def navigate():
+        yield Sleep(100 * MSEC)
+        yield AcquireGps()
+        yield Sleep(100 * MSEC)    # still acquiring (cold start is 400 ms)
+        yield ReleaseGps()
+
+    user.spawn(navigate())
+    box = observer.create_psbox(("gps",))
+    box.enter()
+    platform.sim.run(until=400 * MSEC)
+    # The navigator powered the GPS through a partial cold start, but the
+    # observer's psbox shows zero: off/ acquiring power is never revealed.
+    assert box.vmeter.energy(0, 400 * MSEC) == pytest.approx(0.0, abs=1e-12)
+    # The physical rail did burn acquisition energy.
+    assert platform.meter.energy("gps", 0, 400 * MSEC) > 0.01
+
+
+# -- LTE -------------------------------------------------------------------------
+
+
+def _lte_sender(kernel, name, chunks, size=20_000, gap_ms=40):
+    app = App(kernel, name)
+
+    def behavior():
+        for _ in range(chunks):
+            yield SendPacket(size, wait=False, device="lte")
+            yield Sleep(from_msec(gap_ms))
+        yield WaitAll()
+
+    app.spawn(behavior())
+    return app
+
+
+def test_lte_packets_flow_through_their_own_scheduler(booted):
+    platform, kernel = booted
+    app = _lte_sender(kernel, "cell", 4)
+    platform.sim.run(until=3 * SEC)
+    assert app.finished
+    assert app.counters["tx_bytes"] == 4 * 20_000
+    assert len(kernel.lte_sched.log.filter(kind="dispatch")) == 4
+    assert not kernel.net_sched.log.filter(kind="dispatch")
+
+
+def test_lte_psbox_insulation_is_weaker_than_wifi():
+    """The §7 negative result, measured.
+
+    Same app, same co-runner pattern on WiFi vs LTE: because the LTE RRC
+    state cannot be virtualized, the psbox observation inherits whatever
+    state the co-runner left.  The app sends with gaps longer than the
+    connected tail, so alone it pays (and observes) an RRC promotion per
+    burst, while under a co-runner the modem is already connected — a state
+    difference WiFi's virtualization hides and LTE cannot.
+    """
+
+    def run(device, with_noise, seed=6):
+        platform = Platform.extended(seed=seed)
+        kernel = Kernel(platform)
+        app = App(kernel, "main")
+
+        def behavior():
+            for _ in range(5):
+                yield SendPacket(20_000, wait=True, device=device)
+                yield Sleep(from_msec(1100))
+
+        app.spawn(behavior())
+        box = app.create_psbox((device,))
+        box.enter()
+        if with_noise:
+            noise = App(kernel, "noise")
+
+            def noisy():
+                while True:
+                    yield SendPacket(30_000, wait=True, device=device)
+
+            noise.spawn(noisy())
+        platform.sim.run(until=20 * SEC)
+        assert app.finished
+        return box.vmeter.energy(0, app.finished_at)
+
+    def drift(device):
+        alone = run(device, False)
+        corun = run(device, True)
+        return abs(corun - alone) / alone
+
+    assert drift("lte") > drift("wifi")

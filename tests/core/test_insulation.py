@@ -1,0 +1,166 @@
+"""Integration tests of the psbox insulation property per component.
+
+These are scaled-down versions of Figure 6: the sandboxed app's observed
+energy must stay consistent when a co-runner appears, while its baseline
+accounting share drifts.
+"""
+
+import pytest
+
+from repro.accounting import PerSampleUsageAccounting
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, SendPacket, Sleep, SubmitAccel
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import SEC, from_usec
+
+
+def run_scenario(component, main_factory, co_factory, use_psbox, seed=9,
+                 horizon=8):
+    platform = Platform.full(seed=seed)
+    kernel = Kernel(platform)
+    app = main_factory(kernel)
+    box = None
+    if use_psbox:
+        box = app.create_psbox((component,))
+        box.enter()
+    other = co_factory(kernel) if co_factory else None
+    platform.sim.run(until=horizon * SEC)
+    assert app.finished, "main app did not finish"
+    end = app.finished_at
+    if use_psbox:
+        return box.vmeter.energy(0, end)
+    ids = [app.id] + ([other.id] if other else [])
+    acct = PerSampleUsageAccounting(platform, component)
+    return acct.energies(ids, 0, end)[app.id]
+
+
+def fixed_cpu_app(kernel):
+    app = App(kernel, "main")
+
+    def behavior():
+        for _ in range(25):
+            yield Compute(5e6)
+            yield Sleep(from_usec(200))
+
+    app.spawn(behavior())
+    return app
+
+
+def cpu_noise(kernel):
+    app = App(kernel, "noise")
+
+    def behavior():
+        while True:
+            yield Compute(4e6)
+            yield Sleep(from_usec(150))
+
+    app.spawn(behavior())
+    return app
+
+
+def fixed_gpu_app(kernel):
+    app = App(kernel, "main")
+
+    def behavior():
+        for _ in range(20):
+            yield SubmitAccel("gpu", "draw", 2.5e6, 0.7, wait=True)
+            yield Sleep(from_usec(800))
+
+    app.spawn(behavior())
+    return app
+
+
+def gpu_noise(kernel):
+    app = App(kernel, "noise")
+
+    def behavior():
+        while True:
+            yield SubmitAccel("gpu", "noise", 3e6, 0.9, wait=True)
+
+    app.spawn(behavior())
+    return app
+
+
+def fixed_wifi_app(kernel):
+    app = App(kernel, "main")
+
+    def behavior():
+        for _ in range(10):
+            yield SendPacket(24_000, wait=True)
+            yield Sleep(from_usec(3000))
+
+    app.spawn(behavior())
+    return app
+
+
+def wifi_noise(kernel):
+    app = App(kernel, "noise")
+
+    def behavior():
+        while True:
+            yield SendPacket(32_000, wait=True)
+
+    app.spawn(behavior())
+    return app
+
+
+SCENARIOS = {
+    "cpu": (fixed_cpu_app, cpu_noise),
+    "gpu": (fixed_gpu_app, gpu_noise),
+    "wifi": (fixed_wifi_app, wifi_noise),
+}
+
+
+@pytest.mark.parametrize("component", sorted(SCENARIOS))
+def test_psbox_energy_consistent_under_corun(component):
+    main, noise = SCENARIOS[component]
+    alone = run_scenario(component, main, None, use_psbox=True)
+    corun = run_scenario(component, main, noise, use_psbox=True)
+    delta = abs(corun - alone) / alone
+    assert delta < 0.12, (
+        "psbox {} energy drifted {:.1%} under co-run".format(component, delta)
+    )
+
+
+@pytest.mark.parametrize("component", sorted(SCENARIOS))
+def test_psbox_beats_baseline_accounting(component):
+    main, noise = SCENARIOS[component]
+    psbox_alone = run_scenario(component, main, None, use_psbox=True)
+    psbox_corun = run_scenario(component, main, noise, use_psbox=True)
+    base_alone = run_scenario(component, main, None, use_psbox=False)
+    base_corun = run_scenario(component, main, noise, use_psbox=False)
+    psbox_delta = abs(psbox_corun - psbox_alone) / psbox_alone
+    base_delta = abs(base_corun - base_alone) / base_alone
+    assert psbox_delta < base_delta, (
+        "psbox ({:.1%}) should beat the baseline ({:.1%}) on {}".format(
+            psbox_delta, base_delta, component
+        )
+    )
+
+
+def test_dsp_insulation():
+    def main(kernel):
+        app = App(kernel, "main")
+
+        def behavior():
+            for _ in range(6):
+                yield SubmitAccel("dsp", "k", 40e6, 0.8, wait=True)
+                yield Sleep(from_usec(500))
+
+        app.spawn(behavior())
+        return app
+
+    def noise(kernel):
+        app = App(kernel, "noise")
+
+        def behavior():
+            while True:
+                yield SubmitAccel("dsp", "n", 30e6, 0.5, wait=True)
+
+        app.spawn(behavior())
+        return app
+
+    alone = run_scenario("dsp", main, None, use_psbox=True, horizon=12)
+    corun = run_scenario("dsp", main, noise, use_psbox=True, horizon=12)
+    assert abs(corun - alone) / alone < 0.12

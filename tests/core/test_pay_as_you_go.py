@@ -1,0 +1,93 @@
+"""The §3 "pay as you go" claim: psbox cost scales with time spent inside.
+
+Apps are expected to enter briefly — to sample power periodically or to
+monitor key phases — and run at full speed otherwise.  The throughput cost
+must be proportional to the enclosed fraction, and zero when outside.
+"""
+
+import pytest
+
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC, from_msec, from_usec
+
+
+def spinner(kernel, name):
+    app = App(kernel, name)
+
+    def behavior():
+        while True:
+            yield Compute(4e6)
+            app.count("work", 1)
+            yield Sleep(from_usec(150))
+
+    app.spawn(behavior())
+    return app
+
+
+def run_with_duty(duty_pct, period=from_msec(500), seed=61,
+                  horizon=4 * SEC):
+    """Three co-running instances; one dips into its psbox periodically."""
+    platform = Platform.am57(seed=seed)
+    kernel = Kernel(platform)
+    apps = [spinner(kernel, "i{}".format(i)) for i in range(3)]
+    box = apps[2].create_psbox(("cpu",))
+    inside = int(period * duty_pct / 100)
+    t = int(0.5 * SEC)
+    while t < horizon:
+        if inside > 0:
+            platform.sim.at(t, box.enter)
+            platform.sim.at(min(t + inside, horizon - 1), box.leave)
+        t += period
+    platform.sim.run(until=horizon)
+    window = (SEC, horizon)
+    return [app.rate("work", *window) for app in apps]
+
+
+def test_zero_usage_costs_nothing():
+    baseline = run_with_duty(0)
+    spread = max(baseline) / min(baseline)
+    assert spread < 1.3
+
+
+def test_cost_scales_with_duty_cycle():
+    baseline = run_with_duty(0)
+    light = run_with_duty(10)
+    heavy = run_with_duty(80)
+
+    def sandboxed_loss(rates):
+        return (baseline[2] - rates[2]) / baseline[2]
+
+    light_loss = sandboxed_loss(light)
+    heavy_loss = sandboxed_loss(heavy)
+    assert light_loss < 0.25, "10% duty should cost little"
+    assert heavy_loss > 2 * light_loss, "cost must grow with duty"
+
+
+def test_neighbours_unaffected_at_any_duty():
+    baseline = run_with_duty(0)
+    for duty in (10, 50, 80):
+        rates = run_with_duty(duty)
+        for i in range(2):
+            loss = (baseline[i] - rates[i]) / baseline[i]
+            assert loss < 0.12, (
+                "neighbour {} lost {:.0%} at duty {}%".format(i, loss, duty)
+            )
+
+
+def test_decisions_survive_leaving():
+    """Power observed inside remains representative outside (vertical
+    environment preserved): the mean power of the app's bursts inside the
+    psbox matches the rail power its bursts cause when alone outside."""
+    platform = Platform.am57(seed=62)
+    kernel = Kernel(platform)
+    app = spinner(kernel, "solo")
+    box = app.create_psbox(("cpu",))
+    platform.sim.at(1 * SEC, box.enter)
+    platform.sim.at(2 * SEC, box.leave)
+    platform.sim.run(until=3 * SEC)
+    inside = box.vmeter.energy(SEC, 2 * SEC)
+    outside = platform.meter.energy("cpu", 2 * SEC, 3 * SEC)
+    assert inside == pytest.approx(outside, rel=0.05)

@@ -1,0 +1,132 @@
+"""PowerSandbox API tests (Listing 1 semantics)."""
+
+import pytest
+
+from repro.core.psbox import PowerSandbox, PsboxError
+from repro.sim.clock import MSEC, SEC
+
+from tests.core.conftest import cpu_spinner
+
+
+def test_create_validates_components(booted):
+    platform, kernel = booted
+    app = cpu_spinner(kernel)
+    with pytest.raises(ValueError):
+        PowerSandbox(kernel, app, components=())
+    with pytest.raises(ValueError):
+        PowerSandbox(kernel, app, components=("flux-capacitor",))
+
+
+def test_observation_requires_entry(booted):
+    platform, kernel = booted
+    app = cpu_spinner(kernel)
+    box = PowerSandbox(kernel, app, components=("cpu",))
+    with pytest.raises(PsboxError):
+        box.read()
+    with pytest.raises(PsboxError):
+        box.sample()
+    with pytest.raises(PsboxError):
+        box.energy(0, MSEC)
+
+
+def test_enter_read_leave_cycle(booted):
+    platform, kernel = booted
+    app = cpu_spinner(kernel)
+    box = PowerSandbox(kernel, app, components=("cpu",))
+    box.enter()
+    platform.sim.run(until=200 * MSEC)
+    joules = box.read()
+    assert joules > 0
+    box.leave()
+    with pytest.raises(PsboxError):
+        box.read()
+
+
+def test_context_manager(booted):
+    platform, kernel = booted
+    app = cpu_spinner(kernel)
+    with PowerSandbox(kernel, app, components=("cpu",)) as box:
+        platform.sim.run(until=100 * MSEC)
+        assert box.read() > 0
+        assert box.entered
+    assert not box.entered
+
+
+def test_enter_is_idempotent(booted):
+    platform, kernel = booted
+    app = cpu_spinner(kernel)
+    box = PowerSandbox(kernel, app, components=("cpu",))
+    box.enter()
+    box.enter()
+    box.leave()
+    box.leave()
+    assert not box.entered
+
+
+def test_samples_are_timestamped_on_kernel_clock(booted):
+    platform, kernel = booted
+    app = cpu_spinner(kernel)
+    box = PowerSandbox(kernel, app, components=("cpu",))
+    box.enter()
+    platform.sim.run(until=50 * MSEC)
+    times, watts = box.sample()
+    assert len(times) == len(watts)
+    assert times[0] == box.entered_at
+    assert times[-1] < kernel.now
+
+
+def test_sample_needs_component_when_bound_to_several(booted):
+    platform, kernel = booted
+    app = cpu_spinner(kernel)
+    box = PowerSandbox(kernel, app, components=("cpu", "gpu"))
+    box.enter()
+    platform.sim.run(until=20 * MSEC)
+    with pytest.raises(ValueError):
+        box.sample()
+    times, watts = box.sample(component="cpu")
+    assert len(times) > 0
+    with pytest.raises(PsboxError):
+        box.sample(component="wifi")
+
+
+def test_read_since_window(booted):
+    platform, kernel = booted
+    app = cpu_spinner(kernel)
+    box = PowerSandbox(kernel, app, components=("cpu",))
+    box.enter()
+    platform.sim.run(until=100 * MSEC)
+    total = box.read()
+    recent = box.read(since=50 * MSEC)
+    assert 0 < recent < total
+
+
+def test_app_create_psbox_helper(booted):
+    platform, kernel = booted
+    app = cpu_spinner(kernel)
+    box = app.create_psbox(("cpu",))
+    assert box in app.psboxes
+    assert box.app is app
+
+
+def test_manager_is_shared_per_kernel(booted):
+    platform, kernel = booted
+    a = cpu_spinner(kernel, "a")
+    b = cpu_spinner(kernel, "b")
+    box_a = a.create_psbox(("cpu",))
+    box_b = b.create_psbox(("cpu",))
+    assert box_a.manager is box_b.manager
+    assert kernel.psbox_manager is box_a.manager
+
+
+def test_accel_component_exclusive(booted):
+    platform, kernel = booted
+    a = cpu_spinner(kernel, "a")
+    b = cpu_spinner(kernel, "b")
+    box_a = a.create_psbox(("gpu",))
+    box_b = b.create_psbox(("gpu",))
+    box_a.enter()
+    with pytest.raises(RuntimeError):
+        box_b.enter()
+    box_a.leave()
+    box_b.enter()
+    assert box_b.entered

@@ -1,0 +1,148 @@
+"""Tests for the psbox-aware userspace daemon (§7)."""
+
+import pytest
+
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC, from_msec
+from repro.userspace.render_service import RenderService
+
+
+def boot(psbox_aware=True, seed=14):
+    platform = Platform.full(seed=seed)
+    kernel = Kernel(platform)
+    service = RenderService(kernel, psbox_aware=psbox_aware)
+    return platform, kernel, service
+
+
+def drive_client(platform, service, app, frames, cycles, power, gap_ms):
+    """Feed render requests through the daemon from a sim process."""
+
+    def producer():
+        for _ in range(frames):
+            service.submit(app, "frame", cycles, power)
+            yield from_msec(gap_ms)
+
+    platform.sim.spawn(producer(), name=app.name + ".producer")
+
+
+def test_clients_must_connect_first():
+    platform, kernel, service = boot()
+    app = App(kernel, "client")
+    with pytest.raises(KeyError):
+        service.submit(app, "frame", 1e6, 0.5)
+    with pytest.raises(KeyError):
+        service.enter_psbox(app)
+
+
+def test_requests_flow_and_are_attributed_to_clients():
+    platform, kernel, service = boot()
+    a = App(kernel, "a")
+    service.connect(a)
+    drive_client(platform, service, a, frames=5, cycles=1e6, power=0.5,
+                 gap_ms=10)
+    platform.sim.run(until=SEC)
+    assert a.counters["gpu_commands"] == 5
+    # The kernel, however, billed the daemon.
+    assert service.daemon_app.id in kernel.gpu_sched.queues
+    assert a.id not in kernel.gpu_sched.queues
+
+
+def test_daemon_window_invariant():
+    """No foreign client request in flight during the sandboxed client's
+    daemon-level windows."""
+    platform, kernel, service = boot(psbox_aware=True)
+    boxed = App(kernel, "boxed")
+    other = App(kernel, "other")
+    meter = service.connect(boxed)
+    service.connect(other)
+    service.enter_psbox(boxed)
+    drive_client(platform, service, boxed, frames=10, cycles=1.5e6,
+                 power=0.6, gap_ms=25)
+    drive_client(platform, service, other, frames=40, cycles=2e6,
+                 power=0.8, gap_ms=8)
+    platform.sim.run(until=2 * SEC)
+    windows = meter.windows("gpu", 0, 2 * SEC)
+    assert windows
+    forwards = service.log.filter(kind="forward", client=other.id)
+    # Reconstruct foreign service activity: a forward at t means a foreign
+    # request was in flight from t until its completion; approximate with
+    # the engine log of the daemon's commands is overkill — instead check
+    # no foreign forward happens inside a window.
+    for t, _k, _p in forwards:
+        inside = any(lo <= t < hi for lo, hi in windows)
+        assert not inside, "foreign request forwarded inside a window"
+
+
+def test_aware_daemon_insulates_client_observation():
+    def observed(psbox_aware, with_other, seed=14):
+        platform, kernel, service = boot(psbox_aware=psbox_aware, seed=seed)
+        boxed = App(kernel, "boxed")
+        meter = service.connect(boxed)
+        service.enter_psbox(boxed)
+        drive_client(platform, service, boxed, frames=12, cycles=1.5e6,
+                     power=0.6, gap_ms=30)
+        if with_other:
+            other = App(kernel, "other")
+            service.connect(other)
+            drive_client(platform, service, other, frames=60, cycles=2e6,
+                         power=0.9, gap_ms=7)
+        platform.sim.run(until=2 * SEC)
+        return meter.energy(0, 600 * MSEC)
+
+    aware_alone = observed(True, False)
+    aware_corun = observed(True, True)
+    drift_aware = abs(aware_corun - aware_alone) / aware_alone
+    # Daemon-level balloons insulate multiplexing but cannot virtualize
+    # the GPU's power state (only the kernel can switch DVFS contexts), so
+    # the residual drift is larger than a kernel psbox's — bounded, not
+    # eliminated.
+    assert drift_aware < 0.45
+
+
+def test_unaware_daemon_never_opens_windows():
+    """Without daemon awareness, the client observes nothing but idle:
+    the daemon owns the GPU and no window ever maps back to the client."""
+    platform, kernel, service = boot(psbox_aware=False)
+    boxed = App(kernel, "boxed")
+    meter = service.connect(boxed)
+    service.enter_psbox(boxed)
+    drive_client(platform, service, boxed, frames=10, cycles=1.5e6,
+                 power=0.6, gap_ms=20)
+    platform.sim.run(until=SEC)
+    assert meter.windows("gpu", 0, SEC) == []
+    idle_only = meter.energy(0, SEC)
+    assert idle_only == pytest.approx(
+        platform.idle_power("gpu") * 1.0, rel=1e-6
+    )
+
+
+def test_leave_psbox_restores_free_multiplexing():
+    platform, kernel, service = boot(psbox_aware=True)
+    boxed = App(kernel, "boxed")
+    other = App(kernel, "other")
+    meter = service.connect(boxed)
+    service.connect(other)
+    service.enter_psbox(boxed)
+    drive_client(platform, service, boxed, frames=5, cycles=1.5e6,
+                 power=0.6, gap_ms=20)
+    drive_client(platform, service, other, frames=20, cycles=2e6,
+                 power=0.8, gap_ms=10)
+    platform.sim.run(until=300 * MSEC)
+    service.leave_psbox(boxed)
+    platform.sim.run(until=2 * SEC)
+    assert other.counters["gpu_commands"] == 20
+    n_windows = len(meter.windows("gpu", 0, platform.sim.now))
+    platform.sim.run(until=int(2.5 * SEC))
+    assert len(meter.windows("gpu", 0, platform.sim.now)) == n_windows
+
+
+def test_second_sandboxed_client_rejected():
+    platform, kernel, service = boot()
+    a, b = App(kernel, "a"), App(kernel, "b")
+    service.connect(a)
+    service.connect(b)
+    service.enter_psbox(a)
+    with pytest.raises(RuntimeError):
+        service.enter_psbox(b)

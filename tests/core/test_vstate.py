@@ -1,0 +1,78 @@
+"""Power-state virtualization holder tests."""
+
+import pytest
+
+from repro.core.vstate import WORLD, SnapshotContextHolder
+
+
+class FakeDevice:
+    """A snapshot/restore device with one scalar of operating state."""
+
+    def __init__(self):
+        self.level = 5
+
+    def snapshot(self):
+        return {"level": self.level}
+
+    def restore(self, state):
+        self.level = state["level"]
+
+    def default_state(self):
+        return {"level": 0}
+
+
+def test_fresh_context_gets_pristine_state():
+    device = FakeDevice()
+    holder = SnapshotContextHolder(device)
+    holder.switch_context("psbox.1")
+    assert device.level == 0
+
+
+def test_world_state_saved_and_restored():
+    device = FakeDevice()
+    holder = SnapshotContextHolder(device)
+    device.level = 7
+    holder.switch_context("psbox.1")
+    device.level = 3
+    holder.switch_context(WORLD)
+    assert device.level == 7
+    holder.switch_context("psbox.1")
+    assert device.level == 3
+
+
+def test_switch_to_active_context_is_noop():
+    device = FakeDevice()
+    holder = SnapshotContextHolder(device)
+    device.level = 9
+    holder.switch_context(WORLD)
+    assert device.level == 9
+
+
+def test_contexts_do_not_leak_into_each_other():
+    """The security property: no psbox observes another's lingering state."""
+    device = FakeDevice()
+    holder = SnapshotContextHolder(device)
+    holder.switch_context("psbox.1")
+    device.level = 42
+    holder.switch_context(WORLD)
+    holder.switch_context("psbox.2")
+    assert device.level == 0       # pristine, not psbox.1's 42
+    holder.switch_context("psbox.1")
+    assert device.level == 42
+
+
+def test_drop_context_forgets_state():
+    device = FakeDevice()
+    holder = SnapshotContextHolder(device)
+    holder.switch_context("psbox.1")
+    device.level = 42
+    holder.drop_context("psbox.1")
+    assert holder.active == WORLD
+    holder.switch_context("psbox.1")
+    assert device.level == 0
+
+
+def test_cannot_drop_world():
+    holder = SnapshotContextHolder(FakeDevice())
+    with pytest.raises(ValueError):
+        holder.drop_context(WORLD)

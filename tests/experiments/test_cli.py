@@ -1,0 +1,36 @@
+"""Tests for the `python -m repro.experiments` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+def test_list_prints_registry(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_registry_covers_every_eval_section():
+    assert set(EXPERIMENTS) == {
+        "fig3", "fig6", "fig7", "fig8", "fig9",
+        "sec62", "sec63", "sidechannel",
+    }
+
+
+def test_run_one_experiment(capsys):
+    assert main(["sec63"]) == 0
+    out = capsys.readouterr().out
+    assert "browser" in out
+    assert "triangle" in out

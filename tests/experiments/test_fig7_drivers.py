@@ -1,0 +1,70 @@
+"""Integration tests for the Figure 7 balloon-boundary drivers."""
+
+import pytest
+
+from repro.experiments.fig7 import run_fig7_cpu, run_fig7_dsp
+from repro.sim.clock import SEC
+
+
+@pytest.fixture(scope="module")
+def cpu_with():
+    return run_fig7_cpu(use_psbox=True, duration=SEC)
+
+
+@pytest.fixture(scope="module")
+def cpu_without():
+    return run_fig7_cpu(use_psbox=False, duration=SEC)
+
+
+def test_cpu_psbox_creates_windows_and_forced_idle(cpu_with):
+    assert cpu_with.windows
+    assert cpu_with.forced_idle_ns > 0
+
+
+def test_cpu_without_psbox_has_no_windows(cpu_without):
+    assert cpu_without.windows == []
+
+
+def test_cpu_balloon_excludes_other_apps(cpu_with):
+    foreign = 0
+    for lo, hi in cpu_with.windows:
+        for segments in cpu_with.core_owner_segments:
+            for t0, t1, owner in segments:
+                if owner not in (-1, cpu_with.psbox_app_id):
+                    s, e = max(t0, lo), min(t1, hi)
+                    foreign += max(0, e - s)
+    covered = sum(hi - lo for lo, hi in cpu_with.windows)
+    assert foreign < 0.02 * covered
+
+
+def test_cpu_multiplexing_is_free_outside_windows(cpu_with):
+    outside_owners = set()
+    windows = cpu_with.windows
+    for segments in cpu_with.core_owner_segments:
+        for t0, t1, owner in segments:
+            inside = any(lo <= t0 < hi for lo, hi in windows)
+            if not inside and owner != -1:
+                outside_owners.add(owner)
+    assert any(owner != cpu_with.psbox_app_id for owner in outside_owners)
+
+
+@pytest.fixture(scope="module")
+def dsp_with():
+    return run_fig7_dsp(use_psbox=True, duration=3 * SEC)
+
+
+def test_dsp_temporal_balloons_exclude_foreign_commands(dsp_with):
+    assert dsp_with.windows
+    assert dsp_with.foreign_overlap_ns == 0
+
+
+def test_dsp_without_psbox_commands_overlap_freely():
+    result = run_fig7_dsp(use_psbox=False, duration=3 * SEC)
+    # Find any pair of commands from different apps overlapping in time.
+    overlap = 0
+    cmds = result.commands
+    for i, (app_a, _k, a0, a1) in enumerate(cmds):
+        for app_b, _k2, b0, b1 in cmds[i + 1:]:
+            if app_a != app_b:
+                overlap += max(0, min(a1, b1) - max(a0, b0))
+    assert overlap > 0, "work-conserving DSP should overlap apps freely"

@@ -1,0 +1,47 @@
+"""Integration tests for Fig 8 / §6.2 / §6.3 drivers (scaled down)."""
+
+import pytest
+
+from repro.experiments.fig8 import FIG8_SCENARIOS, run_fig8
+from repro.experiments.sec63 import run_sec63_robustness
+
+
+@pytest.fixture(scope="module")
+def fig8_cpu():
+    return run_fig8("cpu", phase_s=1.5)
+
+
+def test_cpu_loss_confined_to_sandboxed(fig8_cpu):
+    assert fig8_cpu.sandboxed.loss_pct > 30
+    for other in fig8_cpu.others:
+        assert other.loss_pct < 15
+
+
+def test_cpu_before_phase_is_fair(fig8_cpu):
+    befores = [i.before for i in fig8_cpu.instances]
+    assert max(befores) / min(befores) < 1.25
+
+
+def test_gpu_others_unaffected():
+    result = run_fig8("gpu", phase_s=1.5)
+    for other in result.others:
+        assert abs(other.loss_pct) < 12
+
+
+def test_wifi_confinement():
+    result = run_fig8("wifi", phase_s=1.5)
+    assert result.sandboxed.loss_pct > 2 * max(
+        o.loss_pct for o in result.others
+    )
+
+
+def test_total_loss_is_bounded():
+    for component in ("gpu", "wifi"):
+        result = run_fig8(component, phase_s=1.5)
+        assert result.total_loss_pct < 40
+
+
+def test_sec63_robustness_shape():
+    result = run_sec63_robustness(phase_s=1.5)
+    assert result.browser_slowdown > 2.0
+    assert abs(result.triangle_loss_pct) < 8

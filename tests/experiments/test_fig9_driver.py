@@ -1,0 +1,36 @@
+"""Integration tests for the Figure 9 / §6.4 VR driver."""
+
+import pytest
+
+from repro.experiments.fig9 import fidelity_power_span, run_fig9
+
+
+def test_fidelity_span_is_wide():
+    low, high = fidelity_power_span(duration_s=2.0)
+    assert high / low > 4.0
+    assert 0.03 < low < 0.25
+    assert 0.4 < high < 1.2
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_fig9(budgets_w=(0.12, 0.4, 0.8), duration_s=3.0,
+                    trace_budget_index=1)
+
+
+def test_observed_power_tracks_budgets(fig9):
+    for budget, observed in zip(fig9.budgets_w, fig9.observed_w):
+        assert observed < budget * 1.6
+    assert fig9.observed_w == sorted(fig9.observed_w)
+
+
+def test_fidelity_increases_with_budget(fig9):
+    assert fig9.fidelity == sorted(fig9.fidelity)
+    assert fig9.fidelity[-1] > fig9.fidelity[0]
+
+
+def test_trace_separates_rendering_from_total(fig9):
+    assert fig9.times is not None
+    # The total rail includes gesture; rendering's insulated view is lower
+    # on average.
+    assert fig9.rendering_watts.mean() < fig9.total_watts.mean()

@@ -1,0 +1,117 @@
+"""Unit tests for the accelerator command engine (GPU/DSP)."""
+
+import pytest
+
+from repro.hw.accel import Command
+from repro.hw.gpu import Gpu
+from repro.hw.rail import PowerRail
+from repro.sim.clock import MSEC, SEC
+from repro.sim.engine import Simulator
+
+
+def make_gpu():
+    sim = Simulator()
+    rail = PowerRail(sim, "gpu")
+    gpu = Gpu(sim, rail)
+    gpu.freq_domain.set_opp(gpu.freq_domain.max_index)   # fixed 532 MHz
+    return sim, rail, gpu
+
+
+def test_command_validation():
+    with pytest.raises(ValueError):
+        Command(1, "x", 0, 0.5)
+    with pytest.raises(ValueError):
+        Command(1, "x", 1e6, -0.1)
+
+
+def test_single_command_duration():
+    sim, rail, gpu = make_gpu()
+    done = []
+    cmd = Command(1, "draw", 5.32e6, 0.5, on_complete=lambda c: done.append(sim.now))
+    gpu.dispatch(cmd)
+    sim.run(until=SEC)
+    # 5.32e6 cycles at 532 MHz = 10 ms, plus the notification delay.
+    assert done[0] == pytest.approx(10 * MSEC + gpu.completion_delay, rel=1e-6)
+    assert cmd.complete_t == pytest.approx(10 * MSEC, rel=1e-6)
+
+
+def test_concurrent_commands_share_and_slow_down():
+    sim, rail, gpu = make_gpu()
+    c1 = Command(1, "a", 5.32e6, 0.5)
+    c2 = Command(2, "b", 5.32e6, 0.5)
+    gpu.dispatch(c1)
+    gpu.dispatch(c2)
+    sim.run(until=SEC)
+    # Two equal commands at efficiency 1.55: each runs at 0.775x speed.
+    expected = 10 * MSEC / 0.775
+    assert c1.complete_t == pytest.approx(expected, rel=1e-3)
+    assert c2.complete_t == pytest.approx(expected, rel=1e-3)
+
+
+def test_parallelism_limit_enforced():
+    sim, rail, gpu = make_gpu()
+    gpu.dispatch(Command(1, "a", 1e9, 0.5))
+    gpu.dispatch(Command(1, "b", 1e9, 0.5))
+    assert not gpu.has_room
+    with pytest.raises(RuntimeError):
+        gpu.dispatch(Command(1, "c", 1e6, 0.5))
+
+
+def test_power_is_subadditive_for_overlap():
+    sim, rail, gpu = make_gpu()
+    gpu.dispatch(Command(1, "a", 1e9, 0.5))
+    p_one = rail.power_now()
+    gpu.dispatch(Command(2, "b", 1e9, 0.5))
+    p_two = rail.power_now()
+    p_idle = gpu.power_model.idle_w + gpu.freq_domain.opp.static_w
+    assert p_two - p_idle < 2 * (p_one - p_idle)
+
+
+def test_occupancy_accounts_full_device_time():
+    sim, rail, gpu = make_gpu()
+    c1 = Command(1, "a", 5.32e6, 0.5)
+    c2 = Command(2, "b", 5.32e6, 0.5)
+    gpu.dispatch(c1)
+    gpu.dispatch(c2)
+    sim.run(until=SEC)
+    total_wall = c1.complete_t   # both complete together
+    assert c1.occupancy_ns + c2.occupancy_ns == pytest.approx(
+        total_wall, rel=1e-6
+    )
+
+
+def test_usage_traces_track_inflight_counts():
+    sim, rail, gpu = make_gpu()
+    gpu.dispatch(Command(7, "a", 5.32e6, 0.5))
+    assert gpu.usage_traces[7].last_value == 1.0
+    gpu.dispatch(Command(7, "b", 5.32e6, 0.5))
+    assert gpu.usage_traces[7].last_value == 2.0
+    sim.run(until=SEC)
+    assert gpu.usage_traces[7].last_value == 0.0
+
+
+def test_utilization_fraction():
+    sim, rail, gpu = make_gpu()
+    gpu.dispatch(Command(1, "a", 5.32e6, 0.5))   # 10 ms
+    sim.run(until=20 * MSEC)
+    assert gpu.utilization(0, 20 * MSEC) == pytest.approx(0.5, rel=1e-3)
+
+
+def test_freq_change_slows_and_respeeds_commands():
+    sim, rail, gpu = make_gpu()
+    gpu.freq_domain.set_opp(0)    # 200 MHz
+    cmd = Command(1, "a", 2.0e6, 0.5)
+    gpu.dispatch(cmd)             # 10 ms at 200 MHz
+    sim.call_later(5 * MSEC, gpu.freq_domain.set_opp, 2)   # 532 MHz
+    sim.run(until=SEC)
+    # Half done at 5 ms; remaining 1e6 cycles at 532 MHz = 1.88 ms.
+    assert cmd.complete_t == pytest.approx(
+        5 * MSEC + 1e6 / 532e6 * SEC, rel=1e-3
+    )
+
+
+def test_inflight_apps_lists_duplicates():
+    sim, rail, gpu = make_gpu()
+    gpu.dispatch(Command(3, "a", 1e9, 0.5))
+    gpu.dispatch(Command(3, "b", 1e9, 0.5))
+    assert gpu.inflight_apps() == [3, 3]

@@ -1,0 +1,107 @@
+"""Unit tests for the CPU cluster and cores."""
+
+import pytest
+
+from repro.hw.cpu import CpuCluster, WorkItem
+from repro.hw.dvfs import FreqDomain
+from repro.hw.power import CpuPowerModel
+from repro.hw.rail import PowerRail
+from repro.sim.clock import MSEC, SEC
+from repro.sim.engine import Simulator
+
+
+def make_cluster(n_cores=2, initial_opp=0):
+    sim = Simulator()
+    rail = PowerRail(sim, "cpu")
+    model = CpuPowerModel()
+    domain = FreqDomain(sim, "cpu", model.opps, initial_index=initial_opp)
+    cluster = CpuCluster(sim, rail, domain, model, n_cores=n_cores)
+    return sim, rail, cluster
+
+
+def test_work_item_validation():
+    with pytest.raises(ValueError):
+        WorkItem(0)
+
+
+def test_burst_completes_after_cycles_over_freq():
+    sim, rail, cluster = make_cluster(initial_opp=0)   # 300 MHz
+    done = []
+    work = WorkItem(3_000_000, on_complete=lambda core: done.append(sim.now))
+    cluster.cores[0].start(1, work)
+    sim.run(until=SEC)
+    assert done == [pytest.approx(10 * MSEC, rel=1e-6)]
+
+
+def test_freq_change_mid_burst_recomputes_completion():
+    sim, rail, cluster = make_cluster(initial_opp=0)   # 300 MHz
+    done = []
+    work = WorkItem(3_000_000, on_complete=lambda core: done.append(sim.now))
+    cluster.cores[0].start(1, work)
+    # After 5 ms (1.5e6 cycles done), jump to 1.5 GHz: the remaining 1.5e6
+    # cycles take 1 ms.
+    sim.call_later(5 * MSEC, cluster.freq_domain.set_opp, 3)
+    sim.run(until=SEC)
+    assert done == [pytest.approx(6 * MSEC, rel=1e-6)]
+
+
+def test_preempt_preserves_progress():
+    sim, rail, cluster = make_cluster(initial_opp=0)
+    core = cluster.cores[0]
+    done = []
+    work = WorkItem(3_000_000, on_complete=lambda c: done.append(sim.now))
+    core.start(1, work)
+    sim.run(until=4 * MSEC)
+    resumed = core.preempt()
+    assert resumed is work
+    assert work.done == pytest.approx(1_200_000, rel=1e-6)
+    # Resume: remaining 1.8e6 cycles at 300 MHz = 6 ms.
+    core.start(1, work)
+    sim.run(until=SEC)
+    assert done == [pytest.approx(10 * MSEC, rel=1e-6)]
+
+
+def test_core_busy_flag_and_traces():
+    sim, rail, cluster = make_cluster()
+    core = cluster.cores[0]
+    assert not core.busy
+    core.start(7, WorkItem(3_000_000))
+    assert core.busy
+    assert cluster.busy_traces[0].last_value == 1.0
+    assert cluster.owner_traces[0].last_value == 7.0
+    core.preempt()
+    assert cluster.owner_traces[0].last_value == -1.0
+
+
+def test_starting_busy_core_raises():
+    sim, rail, cluster = make_cluster()
+    core = cluster.cores[0]
+    core.start(1, WorkItem(1e6))
+    with pytest.raises(RuntimeError):
+        core.start(2, WorkItem(1e6))
+
+
+def test_rail_power_reflects_active_cores():
+    sim, rail, cluster = make_cluster(initial_opp=0)
+    model = cluster.power_model
+    opp = cluster.freq_domain.opp
+    assert rail.power_now() == pytest.approx(model.idle_w)
+    cluster.cores[0].start(1, WorkItem(1e9))
+    assert rail.power_now() == pytest.approx(model.rail_power(opp, 1))
+    cluster.cores[1].start(2, WorkItem(1e9))
+    assert rail.power_now() == pytest.approx(model.rail_power(opp, 2))
+
+
+def test_utilization_and_max_core_utilization():
+    sim, rail, cluster = make_cluster(initial_opp=0)
+    cluster.cores[0].start(1, WorkItem(1.5e6))   # 5 ms at 300 MHz
+    sim.run(until=10 * MSEC)
+    assert cluster.utilization(0, 10 * MSEC) == pytest.approx(0.25, rel=1e-6)
+    assert cluster.max_core_utilization(0, 10 * MSEC) == pytest.approx(
+        0.5, rel=1e-6
+    )
+
+
+def test_preempt_idle_core_returns_none():
+    sim, rail, cluster = make_cluster()
+    assert cluster.cores[0].preempt() is None

@@ -1,0 +1,72 @@
+"""Tests for the OLED display model (§7 extension)."""
+
+import pytest
+
+from repro.hw.display import OledDisplay
+from repro.hw.rail import PowerRail
+from repro.sim.clock import MSEC, SEC
+from repro.sim.engine import Simulator
+
+
+def make_display():
+    sim = Simulator()
+    rail = PowerRail(sim, "display")
+    return sim, rail, OledDisplay(sim, rail)
+
+
+def test_base_power_always_present():
+    sim, rail, display = make_display()
+    assert rail.power_now() == pytest.approx(display.base_w)
+
+
+def test_surface_power_linear_in_pixels_and_intensity():
+    sim, rail, display = make_display()
+    assert display.surface_power(0.5, 0.5) == pytest.approx(
+        display.full_panel_w * 0.25
+    )
+    assert display.surface_power(1.0, 1.0) == display.full_panel_w
+    assert display.surface_power(0.0, 1.0) == 0.0
+
+
+def test_per_app_power_composes_exactly():
+    """The OLED property: total = base + sum of per-app surface power."""
+    sim, rail, display = make_display()
+    display.set_surface(1, 0.5, 0.8)
+    display.set_surface(2, 0.3, 0.4)
+    expected = (display.base_w + display.surface_power(0.5, 0.8)
+                + display.surface_power(0.3, 0.4))
+    assert rail.power_now() == pytest.approx(expected)
+
+
+def test_surfaces_cannot_exceed_panel():
+    sim, rail, display = make_display()
+    display.set_surface(1, 0.7, 1.0)
+    with pytest.raises(ValueError):
+        display.set_surface(2, 0.5, 1.0)
+    # Resizing your own surface within bounds is fine.
+    display.set_surface(1, 0.9, 1.0)
+
+
+def test_parameter_validation():
+    sim, rail, display = make_display()
+    with pytest.raises(ValueError):
+        display.set_surface(1, -0.1, 0.5)
+    with pytest.raises(ValueError):
+        display.set_surface(1, 0.5, 1.5)
+
+
+def test_app_energy_is_exact():
+    sim, rail, display = make_display()
+    display.set_surface(1, 0.5, 1.0)
+    sim.call_later(500 * MSEC, display.clear_surface, 1)
+    sim.run(until=SEC)
+    expected = display.surface_power(0.5, 1.0) * 0.5
+    assert display.app_energy(1, 0, SEC) == pytest.approx(expected)
+    assert display.app_energy(99, 0, SEC) == 0.0
+
+
+def test_clear_surface_removes_power():
+    sim, rail, display = make_display()
+    display.set_surface(1, 0.4, 1.0)
+    display.clear_surface(1)
+    assert rail.power_now() == pytest.approx(display.base_w)

@@ -1,0 +1,83 @@
+"""Unit tests for frequency domains."""
+
+import pytest
+
+from repro.hw.dvfs import FreqDomain
+from repro.hw.power import OperatingPoint
+from repro.sim.clock import MSEC, SEC
+from repro.sim.engine import Simulator
+
+
+def make_domain(initial=0):
+    sim = Simulator()
+    opps = (
+        OperatingPoint(100e6, 0.1, 0.1, 0.1),
+        OperatingPoint(200e6, 0.2, 0.2, 0.2),
+        OperatingPoint(400e6, 0.4, 0.4, 0.4),
+    )
+    return sim, FreqDomain(sim, "d", opps, initial_index=initial)
+
+
+def test_requires_at_least_one_opp():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        FreqDomain(sim, "d", ())
+
+
+def test_opps_sorted_by_frequency():
+    sim = Simulator()
+    opps = (
+        OperatingPoint(400e6, 0, 0, 0.1),
+        OperatingPoint(100e6, 0, 0, 0.1),
+    )
+    domain = FreqDomain(sim, "d", opps)
+    assert domain.opps[0].freq_hz == 100e6
+
+
+def test_set_opp_clamps_to_range():
+    sim, domain = make_domain()
+    domain.set_opp(99)
+    assert domain.index == domain.max_index
+    domain.set_opp(-5)
+    assert domain.index == 0
+
+
+def test_step_moves_relative():
+    sim, domain = make_domain(initial=1)
+    domain.step(1)
+    assert domain.freq_hz == 400e6
+    domain.step(-2)
+    assert domain.freq_hz == 100e6
+
+
+def test_changed_signal_fires_only_on_change():
+    sim, domain = make_domain()
+    fired = []
+    domain.changed.subscribe(fired.append)
+    domain.set_opp(0)      # no change
+    domain.set_opp(2)
+    assert len(fired) == 1
+    assert fired[0].freq_hz == 400e6
+
+
+def test_cycles_between_tracks_frequency_changes():
+    sim, domain = make_domain(initial=0)   # 100 MHz
+    sim.call_later(500 * MSEC, domain.set_opp, 2)  # then 400 MHz
+    sim.run(until=SEC)
+    cycles = domain.cycles_between(0, SEC)
+    assert cycles == pytest.approx(0.5 * 100e6 + 0.5 * 400e6)
+
+
+def test_snapshot_restore_round_trip():
+    sim, domain = make_domain()
+    domain.set_opp(2)
+    state = domain.snapshot()
+    domain.set_opp(0)
+    domain.restore(state)
+    assert domain.index == 2
+
+
+def test_default_state_is_lowest_opp():
+    sim, domain = make_domain(initial=2)
+    domain.restore(domain.default_state())
+    assert domain.index == 0

@@ -1,0 +1,71 @@
+"""Tests for the GPS model (§7 extension)."""
+
+import pytest
+
+from repro.hw.gps import ACQUIRING, OFF, TRACKING, Gps
+from repro.hw.rail import PowerRail
+from repro.sim.clock import MSEC, SEC, from_msec
+from repro.sim.engine import Simulator
+
+
+def make_gps(acquire_time=from_msec(400)):
+    sim = Simulator()
+    rail = PowerRail(sim, "gps")
+    return sim, rail, Gps(sim, rail, acquire_time=acquire_time)
+
+
+def test_starts_off():
+    sim, rail, gps = make_gps()
+    assert gps.state == OFF
+    assert rail.power_now() == 0.0
+
+
+def test_cold_start_sequence():
+    sim, rail, gps = make_gps()
+    gps.acquire(1)
+    assert gps.state == ACQUIRING
+    assert rail.power_now() == pytest.approx(gps.acquiring_w)
+    sim.run(until=SEC)
+    assert gps.state == TRACKING
+    assert rail.power_now() == pytest.approx(gps.tracking_w)
+
+
+def test_concurrent_use_does_not_change_power():
+    """The paper's observation: GPS power is unaffected by concurrent use."""
+    sim, rail, gps = make_gps()
+    gps.acquire(1)
+    sim.run(until=SEC)
+    power_one = rail.power_now()
+    gps.acquire(2)
+    assert rail.power_now() == power_one
+
+
+def test_powers_down_when_last_user_leaves():
+    sim, rail, gps = make_gps()
+    gps.acquire(1)
+    gps.acquire(2)
+    sim.run(until=SEC)
+    gps.release(1)
+    assert gps.state == TRACKING
+    gps.release(2)
+    assert gps.state == OFF
+
+
+def test_release_during_acquisition_cancels_it():
+    sim, rail, gps = make_gps()
+    gps.acquire(1)
+    sim.run(until=100 * MSEC)
+    gps.release(1)
+    assert gps.state == OFF
+    sim.run(until=2 * SEC)
+    assert gps.state == OFF
+
+
+def test_operating_windows_exclude_cold_start():
+    sim, rail, gps = make_gps(acquire_time=from_msec(400))
+    gps.acquire(1)
+    sim.run(until=SEC)
+    gps.release(1)
+    sim.run(until=2 * SEC)
+    windows = gps.operating_windows(0, 2 * SEC)
+    assert windows == [(400 * MSEC, SEC)]

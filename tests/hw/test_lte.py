@@ -1,0 +1,70 @@
+"""Tests for the LTE modem model (§7 negative result)."""
+
+import pytest
+
+from repro.hw.lte import LteNic, default_lte_power_model
+from repro.hw.nic import CAM, PSM, TX, Packet
+from repro.hw.rail import PowerRail
+from repro.sim.clock import MSEC, SEC, from_msec
+from repro.sim.engine import Simulator
+
+
+def make_lte(**kwargs):
+    sim = Simulator()
+    rail = PowerRail(sim, "lte")
+    return sim, rail, LteNic(sim, rail, **kwargs)
+
+
+def test_promotion_delays_first_transmission():
+    sim, rail, lte = make_lte(promotion_delay=from_msec(110))
+    pkt = Packet(1, 20_000)
+    lte.enqueue(pkt)
+    # RRC promotion: connected-idle power, no transmission yet.
+    assert lte.state == CAM
+    sim.run(until=50 * MSEC)
+    assert pkt.tx_start_t is None
+    sim.run(until=SEC)
+    assert pkt.tx_start_t >= from_msec(110)
+
+
+def test_no_promotion_when_already_connected():
+    sim, rail, lte = make_lte()
+    lte.enqueue(Packet(1, 20_000))
+    sim.run(until=500 * MSEC)
+    assert lte.state == CAM      # riding the connected tail
+    pkt = Packet(1, 20_000)
+    lte.enqueue(pkt)
+    assert lte.state == TX       # immediate: no promotion needed
+    assert pkt.tx_start_t == sim.now
+
+
+def test_long_connected_tail_then_idle():
+    sim, rail, lte = make_lte()
+    lte.enqueue(Packet(1, 20_000))
+    sim.run(until=800 * MSEC)
+    assert lte.state == CAM
+    sim.run(until=3 * SEC)
+    assert lte.state == PSM
+
+
+def test_connected_idle_power_is_high():
+    model = default_lte_power_model()
+    assert model.cam_w > 10 * model.psm_w
+
+
+def test_power_state_cannot_be_virtualized():
+    sim, rail, lte = make_lte()
+    with pytest.raises(RuntimeError):
+        lte.snapshot()
+    with pytest.raises(RuntimeError):
+        lte.restore({})
+    with pytest.raises(RuntimeError):
+        lte.default_state()
+
+
+def test_promotion_with_empty_queue_rides_tail():
+    """Promotion completes after the sender gave up: tail, then idle."""
+    sim, rail, lte = make_lte(promotion_delay=from_msec(110))
+    lte.enqueue(Packet(1, 20_000))
+    sim.run(until=SEC)
+    assert lte.is_drained

@@ -1,0 +1,69 @@
+"""Unit tests for the in-situ power meter."""
+
+import numpy as np
+import pytest
+
+from repro.hw.meter import PowerMeter
+from repro.hw.rail import PowerRail
+from repro.sim.clock import MSEC, SEC, USEC
+from repro.sim.engine import Simulator
+
+
+def make_meter(noise_w=0.0):
+    sim = Simulator(seed=1)
+    rail = PowerRail(sim, "r")
+    meter = PowerMeter(sim, {"r": rail}, noise_w=noise_w,
+                       rng=sim.rng.stream("noise"))
+    return sim, rail, meter
+
+
+def test_sampling_interval_default_100khz():
+    sim, rail, meter = make_meter()
+    assert meter.sample_interval == 10 * USEC
+    times, watts = meter.sample("r", 0, MSEC)
+    assert len(times) == 100
+
+
+def test_samples_are_timestamped_on_shared_clock():
+    sim, rail, meter = make_meter()
+    times, _w = meter.sample("r", 0, MSEC, dt=100 * USEC)
+    assert list(times) == list(range(0, MSEC, 100 * USEC))
+
+
+def test_samples_track_rail_changes():
+    sim, rail, meter = make_meter()
+    rail.set_part("a", 1.0)
+    sim.call_later(500 * USEC, rail.set_part, "a", 3.0)
+    sim.run(until=MSEC)
+    _t, watts = meter.sample("r", 0, MSEC, dt=100 * USEC)
+    assert watts[0] == 1.0
+    assert watts[-1] == 3.0
+
+
+def test_energy_is_exact_integral():
+    sim, rail, meter = make_meter()
+    rail.set_part("a", 2.0)
+    sim.call_later(SEC // 4, rail.set_part, "a", 0.0)
+    sim.run(until=SEC)
+    assert meter.energy("r", 0, SEC) == pytest.approx(0.5)
+
+
+def test_unknown_rail_raises():
+    sim, rail, meter = make_meter()
+    with pytest.raises(KeyError):
+        meter.sample("nope", 0, MSEC)
+
+
+def test_noise_perturbs_but_never_negative():
+    sim, rail, meter = make_meter(noise_w=0.05)
+    rail.set_part("a", 0.01)
+    _t, watts = meter.sample("r", 0, MSEC)
+    assert (watts >= 0).all()
+    assert watts.std() > 0
+
+
+def test_mean_power_passthrough():
+    sim, rail, meter = make_meter()
+    rail.set_part("a", 1.5)
+    sim.run(until=SEC)
+    assert meter.mean_power("r", 0, SEC) == pytest.approx(1.5)

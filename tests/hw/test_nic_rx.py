@@ -1,0 +1,114 @@
+"""Reception tests: the half-duplex radio and the §4.2 RX limitation."""
+
+import pytest
+
+from repro.apps.base import App
+from repro.hw.nic import CAM, PSM, RX, TX, Packet
+from repro.hw.power import NicPowerModel
+from repro.hw.rail import PowerRail
+from repro.kernel.actions import SendPacket, Sleep
+from repro.kernel.kernel import Kernel
+from repro.hw.platform import Platform
+from repro.sim.clock import MSEC, SEC, from_msec
+from repro.sim.engine import Simulator
+
+
+def make_nic():
+    sim = Simulator()
+    rail = PowerRail(sim, "wifi")
+    from repro.hw.nic import WifiNic
+    return sim, rail, WifiNic(sim, rail, NicPowerModel())
+
+
+def test_rx_draws_rx_power():
+    sim, rail, nic = make_nic()
+    done = []
+    nic.receive(1, 40_000, on_complete=lambda p: done.append(sim.now))
+    assert nic.state == RX
+    assert rail.power_now() == pytest.approx(nic.power_model.rx_w)
+    sim.run(until=SEC)
+    assert done
+    assert nic.state in (CAM, PSM)
+
+
+def test_half_duplex_rx_waits_for_tx():
+    sim, rail, nic = make_nic()
+    tx = Packet(1, 40_000)
+    nic.enqueue(tx)
+    rx = nic.receive(2, 20_000)
+    assert nic.state == TX
+    sim.run(until=SEC)
+    assert rx.tx_start_t >= tx.tx_end_t
+
+
+def test_half_duplex_tx_waits_for_rx():
+    sim, rail, nic = make_nic()
+    nic.receive(2, 40_000)
+    tx = Packet(1, 20_000)
+    nic.enqueue(tx)
+    sim.run(until=SEC)
+    rx_end = nic.log.times(kind="rx_end")[0]
+    assert tx.tx_start_t >= rx_end
+
+
+def test_rx_resets_tail():
+    sim, rail, nic = make_nic()
+    nic.receive(1, 10_000)
+    sim.run(until=20 * MSEC)
+    assert nic.state == CAM
+    sim.run(until=SEC)
+    assert nic.state == PSM
+
+
+def test_reception_pollutes_foreign_psbox_window():
+    """The paper's documented WiFi limitation: reception cannot be deferred
+    per balloon, so another app's inbound traffic leaks into a psbox's
+    observed power."""
+    platform = Platform.full(seed=4)
+    kernel = Kernel(platform)
+    boxed = App(kernel, "boxed")
+
+    def sender():
+        for _ in range(6):
+            yield SendPacket(20_000, wait=True)
+            yield Sleep(from_msec(30))
+
+    boxed.spawn(sender())
+    box = boxed.create_psbox(("wifi",))
+    box.enter()
+
+    # Background inbound traffic for a different app, beyond OS control.
+    other_id = 999
+
+    def inbound():
+        while True:
+            platform.nic.receive(other_id, 24_000)
+            yield from_msec(25)
+
+    platform.sim.spawn(inbound())
+    platform.sim.run(until=2 * SEC)
+    assert boxed.finished
+
+    # Some RX time of the foreign app overlaps the psbox windows.
+    windows = box.vmeter.windows("wifi", 0, boxed.finished_at)
+    rx_intervals = []
+    starts = {}
+    for t, kind, payload in platform.nic.log:
+        if kind == "rx_start":
+            starts[payload["seq"]] = t
+        elif kind == "rx_end" and payload["seq"] in starts:
+            rx_intervals.append((starts.pop(payload["seq"]), t))
+    pollution = 0
+    for lo, hi in windows:
+        for r0, r1 in rx_intervals:
+            pollution += max(0, min(hi, r1) - max(lo, r0))
+    assert pollution > 0, (
+        "expected the documented RX leak; balloons cannot defer reception"
+    )
+
+
+def test_rx_usage_not_counted_in_tx_drain():
+    """Draining (is_drained) concerns the transmit path the OS controls."""
+    sim, rail, nic = make_nic()
+    nic.receive(1, 400_000)   # long reception
+    assert nic.is_drained     # nothing queued on the TX side

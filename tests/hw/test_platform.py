@@ -1,0 +1,58 @@
+"""Unit tests for platform assembly."""
+
+import pytest
+
+from repro.hw.platform import COMPONENTS, Platform
+
+
+def test_full_platform_has_all_components():
+    p = Platform.full(seed=0)
+    assert p.cpu is not None
+    assert p.gpu is not None
+    assert p.dsp is not None
+    assert p.nic is not None
+    assert set(p.rails) == set(COMPONENTS)
+
+
+def test_am57_has_no_wifi():
+    p = Platform.am57(seed=0)
+    assert p.nic is None
+    assert "wifi" not in p.rails
+    assert p.cpu.n_cores == 2
+
+
+def test_bbb_is_single_core_with_wifi():
+    p = Platform.bbb(seed=0)
+    assert p.cpu.n_cores == 1
+    assert p.nic is not None
+    assert p.gpu is None
+
+
+def test_component_lookup():
+    p = Platform.full(seed=0)
+    assert p.component("cpu") is p.cpu
+    assert p.component("gpu") is p.gpu
+    with pytest.raises(KeyError):
+        Platform.am57(seed=0).component("wifi")
+
+
+def test_idle_power_known_for_every_component():
+    p = Platform.full(seed=0)
+    for name in COMPONENTS:
+        assert p.idle_power(name) > 0
+
+
+def test_rails_start_at_idle_levels():
+    p = Platform.full(seed=0)
+    assert p.rails["cpu"].power_now() == pytest.approx(
+        p.cpu.power_model.idle_w
+    )
+    assert p.rails["wifi"].power_now() == pytest.approx(
+        p.nic.power_model.psm_w
+    )
+
+
+def test_seed_controls_meter_rng():
+    a = Platform.full(seed=1).sim.rng.stream("meter.noise").random()
+    b = Platform.full(seed=1).sim.rng.stream("meter.noise").random()
+    assert a == b

@@ -1,0 +1,58 @@
+"""Unit tests for power rails."""
+
+import pytest
+
+from repro.sim.clock import MSEC, SEC
+from repro.sim.engine import Simulator
+from repro.hw.rail import PowerRail
+
+
+def make_rail():
+    sim = Simulator()
+    return sim, PowerRail(sim, "test")
+
+
+def test_contributions_sum():
+    sim, rail = make_rail()
+    rail.set_part("a", 1.0)
+    rail.set_part("b", 0.5)
+    assert rail.power_now() == pytest.approx(1.5)
+
+
+def test_zero_removes_contribution():
+    sim, rail = make_rail()
+    rail.set_part("a", 1.0)
+    rail.set_part("a", 0.0)
+    assert rail.power_now() == 0.0
+    assert rail.part("a") == 0.0
+
+
+def test_negative_power_rejected():
+    sim, rail = make_rail()
+    with pytest.raises(ValueError):
+        rail.set_part("a", -0.1)
+
+
+def test_energy_integrates_watts_to_joules():
+    sim, rail = make_rail()
+    rail.set_part("a", 2.0)
+    sim.call_later(500 * MSEC, rail.set_part, "a", 0.0)
+    sim.run(until=SEC)
+    assert rail.energy(0, SEC) == pytest.approx(1.0)   # 2 W x 0.5 s
+
+
+def test_mean_power():
+    sim, rail = make_rail()
+    rail.set_part("a", 4.0)
+    sim.call_later(SEC // 2, rail.set_part, "a", 0.0)
+    sim.run(until=SEC)
+    assert rail.mean_power(0, SEC) == pytest.approx(2.0)
+
+
+def test_updating_one_part_keeps_others():
+    sim, rail = make_rail()
+    rail.set_part("a", 1.0)
+    rail.set_part("b", 2.0)
+    rail.set_part("a", 0.25)
+    assert rail.power_now() == pytest.approx(2.25)
+    assert rail.part("b") == 2.0

@@ -1,0 +1,139 @@
+"""Ablation tests: each psbox mechanism matters (DESIGN.md section 6)."""
+
+import pytest
+
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.actions import Sleep, SubmitAccel
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.sim.clock import MSEC, SEC, from_usec
+
+
+def gpu_fixed(kernel, name="main", n=15):
+    app = App(kernel, name)
+
+    def behavior():
+        for _ in range(n):
+            yield SubmitAccel("gpu", "draw", 2.5e6, 0.7, wait=True)
+            yield Sleep(from_usec(700))
+
+    app.spawn(behavior())
+    return app
+
+
+def gpu_noise(kernel):
+    app = App(kernel, "noise")
+
+    def behavior():
+        while True:
+            yield SubmitAccel("gpu", "noise", 3e6, 0.9, wait=True)
+
+    app.spawn(behavior())
+    return app
+
+
+def observed_energy(config, with_noise, seed=11):
+    platform = Platform.full(seed=seed)
+    kernel = Kernel(platform, config)
+    app = gpu_fixed(kernel)
+    box = app.create_psbox(("gpu",))
+    box.enter()
+    if with_noise:
+        gpu_noise(kernel)
+    platform.sim.run(until=8 * SEC)
+    assert app.finished
+    return box.vmeter.energy(0, app.finished_at)
+
+
+def drift(config):
+    alone = observed_energy(config, with_noise=False)
+    corun = observed_energy(config, with_noise=True)
+    return abs(corun - alone) / alone
+
+
+def test_draining_off_leaks_foreign_power():
+    """Without drain phases, foreign in-flight commands pollute windows."""
+    clean = drift(KernelConfig())
+    leaky = drift(KernelConfig(draining_enabled=False))
+    assert leaky > clean
+    assert leaky > 0.10
+
+
+def test_draining_off_violates_window_invariant():
+    platform = Platform.full(seed=11)
+    kernel = Kernel(platform, KernelConfig(draining_enabled=False))
+    app = gpu_fixed(kernel)
+    box = app.create_psbox(("gpu",))
+    box.enter()
+    noise = gpu_noise(kernel)
+    platform.sim.run(until=8 * SEC)
+    windows = box.vmeter.windows("gpu", 0, app.finished_at)
+    dispatches = {}
+    foreign = []
+    for t, kind, payload in platform.gpu.log:
+        if payload.get("app") != noise.id:
+            continue
+        if kind == "dispatch":
+            dispatches[payload["seq"]] = t
+        elif kind == "complete":
+            foreign.append((dispatches.pop(payload["seq"]), t))
+    overlap = 0
+    for lo, hi in windows:
+        for f0, f1 in foreign:
+            overlap += max(0, min(hi, f1) - max(lo, f0))
+    assert overlap > 0, "ablation should actually leak"
+
+
+def test_vstate_off_inherits_lingering_frequency():
+    """Without power-state virtualization, the psbox sees the co-runner's
+    frequency state."""
+
+    def first_window_freq(vstate):
+        platform = Platform.full(seed=12)
+        kernel = Kernel(platform, KernelConfig(vstate_enabled=vstate))
+        noise = gpu_noise(kernel)          # ramps the GPU to max
+        platform.sim.run(until=300 * MSEC)
+        app = gpu_fixed(kernel, n=3)
+        box = app.create_psbox(("gpu",))
+        box.enter()
+        platform.sim.run(until=320 * MSEC)
+        windows = box.vmeter.windows("gpu", 300 * MSEC, 320 * MSEC)
+        if not windows:
+            return None
+        lo = windows[0][0]
+        return platform.gpu.freq_domain.freq_trace.value_at(lo + 100_000)
+
+    with_vstate = first_window_freq(True)
+    without = first_window_freq(False)
+    assert with_vstate is not None and without is not None
+    assert with_vstate < without, (
+        "fresh psbox must start at a pristine (low) frequency"
+    )
+
+
+def test_metering_rate_does_not_fix_entanglement():
+    """§2.3: finer sampling cannot un-entangle the baseline accounting."""
+    from repro.accounting import PerSampleUsageAccounting
+    from repro.sim.clock import USEC
+
+    def baseline_drift(dt):
+        def run(with_noise):
+            platform = Platform.full(seed=13)
+            kernel = Kernel(platform)
+            app = gpu_fixed(kernel)
+            ids = [app.id]
+            if with_noise:
+                ids.append(gpu_noise(kernel).id)
+            platform.sim.run(until=8 * SEC)
+            acct = PerSampleUsageAccounting(platform, "gpu", dt=dt)
+            return acct.energies(ids, 0, app.finished_at)[app.id]
+
+        alone = run(False)
+        corun = run(True)
+        return abs(corun - alone) / alone
+
+    coarse = baseline_drift(1 * MSEC)
+    fine = baseline_drift(10 * USEC)
+    # Finer metering does not reduce the attribution error materially.
+    assert fine > 0.5 * coarse
+    assert fine > 0.08

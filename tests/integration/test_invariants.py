@@ -1,0 +1,139 @@
+"""Property-based invariants over the full stack.
+
+Randomized workloads and sandbox schedules must never violate the system's
+core guarantees: window disjointness, energy additivity, accounting
+conservation, capacity bounds, progress.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accounting import PerSampleUsageAccounting
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC, from_usec
+
+workload = st.lists(
+    st.tuples(
+        st.floats(0.3e6, 6e6),       # burst cycles
+        st.integers(50, 2000),       # sleep us
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def build(seed, specs):
+    platform = Platform.am57(seed=seed)
+    kernel = Kernel(platform)
+    apps = []
+    for i, (burst, sleep_us) in enumerate(specs):
+        app = App(kernel, "app{}".format(i))
+
+        def behavior(burst=burst, sleep_us=sleep_us, app=app):
+            while True:
+                yield Compute(burst)
+                app.count("work", 1)
+                yield Sleep(from_usec(sleep_us))
+
+        app.spawn(behavior())
+        apps.append(app)
+    return platform, kernel, apps
+
+
+@given(st.integers(0, 10_000), workload)
+@settings(max_examples=12, deadline=None)
+def test_every_app_makes_progress(seed, specs):
+    platform, kernel, apps = build(seed, specs)
+    platform.sim.run(until=400 * MSEC)
+    for app in apps:
+        assert app.counters.get("work", 0) > 0
+
+
+@given(st.integers(0, 10_000), workload)
+@settings(max_examples=12, deadline=None)
+def test_busy_time_never_exceeds_capacity(seed, specs):
+    platform, kernel, apps = build(seed, specs)
+    platform.sim.run(until=400 * MSEC)
+    horizon = 400 * MSEC
+    for trace in platform.cpu.busy_traces:
+        busy = trace.integrate(0, horizon)
+        assert 0 <= busy <= horizon + 1
+
+
+@given(st.integers(0, 10_000), workload)
+@settings(max_examples=10, deadline=None)
+def test_accounting_shares_conserve_rail_power(seed, specs):
+    import numpy as np
+
+    platform, kernel, apps = build(seed, specs)
+    platform.sim.run(until=300 * MSEC)
+    ids = [app.id for app in apps]
+    acct = PerSampleUsageAccounting(platform, "cpu", dt=100_000)
+    times, shares = acct.shares(ids, 0, 300 * MSEC)
+    total = sum(shares.values())
+    _t, watts = platform.meter.sample("cpu", 0, len(times) * acct.dt,
+                                      acct.dt)
+    assert (total <= watts + 1e-9).all()
+    usage = acct.extractor.usage(ids, 0, len(times) * acct.dt, acct.dt)
+    active = sum(usage[i] for i in ids) > 0
+    np.testing.assert_allclose(total[active], watts[active], rtol=1e-9)
+
+
+@given(
+    st.integers(0, 10_000),
+    st.lists(st.integers(10, 80), min_size=2, max_size=5),
+)
+@settings(max_examples=10, deadline=None)
+def test_vmeter_windows_disjoint_under_random_enter_leave(seed, dwell_ms):
+    platform, kernel, apps = build(seed, [(4e6, 150), (3e6, 200)])
+    box = apps[0].create_psbox(("cpu",))
+    t = 20 * MSEC
+    entering = True
+    for dwell in dwell_ms:
+        platform.sim.at(t, box.enter if entering else box.leave)
+        entering = not entering
+        t += dwell * MSEC
+    platform.sim.run(until=t + 50 * MSEC)
+    if box.entered:
+        box.leave()
+    windows = box.vmeter.windows("cpu", 0, platform.sim.now)
+    for (a0, a1), (b0, b1) in zip(windows, windows[1:]):
+        assert a1 <= b0, "windows must be disjoint and ordered"
+    for lo, hi in windows:
+        assert 0 <= lo < hi <= platform.sim.now
+
+
+@given(st.integers(0, 10_000), st.integers(1, 8))
+@settings(max_examples=10, deadline=None)
+def test_vmeter_energy_additivity(seed, splits):
+    platform, kernel, apps = build(seed, [(4e6, 150), (3e6, 200)])
+    box = apps[0].create_psbox(("cpu",))
+    box.enter()
+    platform.sim.run(until=300 * MSEC)
+    horizon = 300 * MSEC
+    whole = box.vmeter.energy(0, horizon)
+    step = horizon // (splits + 1)
+    edges = list(range(0, horizon, step)) + [horizon]
+    parts = sum(
+        box.vmeter.energy(a, b) for a, b in zip(edges, edges[1:])
+    )
+    assert parts == pytest.approx(whole, rel=1e-9)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=8, deadline=None)
+def test_observed_power_bounded_by_rail_peak(seed):
+    import numpy as np
+
+    platform, kernel, apps = build(seed, [(5e6, 100), (3e6, 300)])
+    box = apps[0].create_psbox(("cpu",))
+    box.enter()
+    platform.sim.run(until=300 * MSEC)
+    _t, observed = box.sample(t0=0, t1=300 * MSEC, dt=MSEC)
+    _t2, rail = platform.meter.sample("cpu", 0, 300 * MSEC, MSEC)
+    assert float(observed.max()) <= float(rail.max()) + 1e-9
+    assert float(observed.min()) >= 0

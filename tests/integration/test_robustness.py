@@ -1,0 +1,180 @@
+"""Stress and failure-injection tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import App
+from repro.hw.meter import PowerMeter
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, SendPacket, Sleep, SubmitAccel
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC, from_msec, from_usec
+
+
+def spinner(kernel, name, burst=3e6, pause_us=0):
+    app = App(kernel, name)
+
+    def behavior():
+        while True:
+            yield Compute(burst)
+            app.count("work", 1)
+            if pause_us:
+                yield Sleep(from_usec(pause_us))
+
+    app.spawn(behavior())
+    return app
+
+
+def test_many_pure_spinners_with_one_psbox():
+    """Six zero-sleep CPU hogs on two cores, one sandboxed: no stalls."""
+    platform = Platform.am57(seed=31)
+    kernel = Kernel(platform)
+    apps = [spinner(kernel, "s{}".format(i)) for i in range(6)]
+    box = apps[0].create_psbox(("cpu",))
+    box.enter()
+    platform.sim.run(until=2 * SEC)
+    for app in apps:
+        assert app.counters.get("work", 0) > 0, "{} starved".format(app.name)
+    assert platform.cpu.utilization(SEC, 2 * SEC) > 0.8
+
+
+def test_enter_leave_storm():
+    """Toggling the psbox every few ms must not corrupt window state."""
+    platform = Platform.am57(seed=32)
+    kernel = Kernel(platform)
+    target = spinner(kernel, "target", pause_us=100)
+    spinner(kernel, "noise", pause_us=100)
+    box = target.create_psbox(("cpu",))
+    t = 10 * MSEC
+    for i in range(120):
+        platform.sim.at(t, box.enter if i % 2 == 0 else box.leave)
+        t += 5 * MSEC
+    platform.sim.run(until=t + 100 * MSEC)
+    if box.entered:
+        box.leave()
+    windows = box.vmeter.windows("cpu", 0, platform.sim.now)
+    for (a0, a1), (b0, b1) in zip(windows, windows[1:]):
+        assert a1 <= b0
+    assert kernel.smp.active_cosched is None
+
+
+def test_gpu_psbox_churn_under_storm():
+    platform = Platform.full(seed=33)
+    kernel = Kernel(platform)
+    boxed = App(kernel, "boxed")
+    other = App(kernel, "other")
+
+    def gpu_flow(app, n, cycles):
+        def behavior():
+            for _ in range(n):
+                yield SubmitAccel("gpu", "x", cycles, 0.6, wait=True)
+        return behavior
+
+    boxed.spawn(gpu_flow(boxed, 60, 0.8e6)())
+    other.spawn(gpu_flow(other, 60, 1.2e6)())
+    box = boxed.create_psbox(("gpu",))
+    t = 5 * MSEC
+    for i in range(40):
+        platform.sim.at(t, box.enter if i % 2 == 0 else box.leave)
+        t += 11 * MSEC
+    platform.sim.run(until=4 * SEC)
+    assert boxed.finished and other.finished
+    assert kernel.gpu_sched.state == "normal"
+
+
+def test_huge_single_burst_is_preemptible():
+    """A 1e9-cycle burst must not lock out other apps."""
+    platform = Platform.am57(seed=34)
+    kernel = Kernel(platform)
+    hog = App(kernel, "hog")
+
+    def behavior():
+        yield Compute(1e9)
+
+    hog.spawn(behavior())
+    other = spinner(kernel, "other", burst=2e6, pause_us=100)
+    platform.sim.run(until=SEC)
+    assert other.counters.get("work", 0) > 50
+
+
+def test_nic_under_many_senders():
+    platform = Platform.full(seed=35)
+    kernel = Kernel(platform)
+    apps = []
+    for i in range(5):
+        app = App(kernel, "tx{}".format(i))
+
+        def behavior(app=app):
+            for _ in range(20):
+                yield SendPacket(16_000, wait=True)
+
+        app.spawn(behavior())
+        apps.append(app)
+    platform.sim.run(until=10 * SEC)
+    for app in apps:
+        assert app.finished
+        assert app.counters["tx_bytes"] == 20 * 16_000
+    assert platform.nic.queued_count == 0
+
+
+def test_meter_noise_does_not_bias_energy():
+    """Sampling noise is zero-mean; exact energy integrals are untouched."""
+    platform = Platform.am57(seed=36)
+    platform.meter.noise_w = 0.05
+    kernel = Kernel(platform)
+    app = spinner(kernel, "a", pause_us=200)
+    platform.sim.run(until=SEC)
+    exact = platform.meter.energy("cpu", 0, SEC)
+    _t, watts = platform.meter.sample("cpu", 0, SEC, dt=100_000)
+    sampled = float(watts.mean())
+    assert sampled == pytest.approx(exact / 1.0, rel=0.02)
+
+
+def test_full_vertical_psbox_all_components():
+    """One app sandboxes CPU+GPU+DSP+WiFi simultaneously."""
+    platform = Platform.full(seed=37)
+    kernel = Kernel(platform)
+    app = App(kernel, "vertical")
+
+    def behavior():
+        for _ in range(4):
+            yield Compute(2e6)
+            yield SubmitAccel("gpu", "g", 1.5e6, 0.6, wait=True)
+            yield SubmitAccel("dsp", "d", 8e6, 0.5, wait=True)
+            yield SendPacket(20_000, wait=True)
+            yield Sleep(from_msec(5))
+
+    app.spawn(behavior())
+    noise_cpu = spinner(kernel, "ncpu", pause_us=150)
+    box = app.create_psbox(("cpu", "gpu", "dsp", "wifi"))
+    box.enter()
+    platform.sim.run(until=10 * SEC)
+    assert app.finished
+    total = box.vmeter.energy(0, app.finished_at)
+    parts = sum(
+        box.vmeter.energy(0, app.finished_at, component=c)
+        for c in ("cpu", "gpu", "dsp", "wifi")
+    )
+    assert total == pytest.approx(parts, rel=1e-9)
+    assert total > 0
+
+
+def test_leaving_unentered_psbox_is_safe():
+    platform = Platform.full(seed=38)
+    kernel = Kernel(platform)
+    app = spinner(kernel, "a", pause_us=100)
+    box = app.create_psbox(("cpu",))
+    box.leave()         # never entered: no-op
+    assert not box.entered
+    platform.sim.run(until=100 * MSEC)
+
+
+def test_zero_duration_observation_windows():
+    platform = Platform.full(seed=39)
+    kernel = Kernel(platform)
+    app = spinner(kernel, "a", pause_us=100)
+    box = app.create_psbox(("cpu",))
+    box.enter()
+    assert box.read() == 0.0                     # zero elapsed time
+    times, watts = box.sample()
+    assert len(times) == 0

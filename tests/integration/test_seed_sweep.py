@@ -1,0 +1,107 @@
+"""Seed sweeps: the headline claims must not hinge on one lucky seed."""
+
+import pytest
+
+from repro.accounting import PerSampleUsageAccounting
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, Sleep, SubmitAccel
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import SEC, from_usec
+
+
+def _fixed_cpu(kernel):
+    app = App(kernel, "main")
+
+    def behavior():
+        for _ in range(25):
+            yield Compute(5e6)
+            yield Sleep(from_usec(200))
+
+    app.spawn(behavior())
+    return app
+
+
+def _cpu_noise(kernel):
+    app = App(kernel, "noise")
+
+    def behavior():
+        while True:
+            yield Compute(4e6)
+            yield Sleep(from_usec(150))
+
+    app.spawn(behavior())
+    return app
+
+
+def _drifts(seed):
+    def run(use_psbox, with_noise):
+        platform = Platform.am57(seed=seed)
+        kernel = Kernel(platform)
+        app = _fixed_cpu(kernel)
+        box = None
+        if use_psbox:
+            box = app.create_psbox(("cpu",))
+            box.enter()
+        other = _cpu_noise(kernel) if with_noise else None
+        platform.sim.run(until=6 * SEC)
+        assert app.finished
+        if use_psbox:
+            return box.vmeter.energy(0, app.finished_at)
+        ids = [app.id] + ([other.id] if other else [])
+        return PerSampleUsageAccounting(platform, "cpu").energies(
+            ids, 0, app.finished_at)[app.id]
+
+    psbox = abs(run(True, True) - run(True, False)) / run(True, False)
+    base = abs(run(False, True) - run(False, False)) / run(False, False)
+    return psbox, base
+
+
+@pytest.mark.parametrize("seed", [1, 7, 13, 29, 101])
+def test_insulation_headline_across_seeds(seed):
+    psbox_drift, baseline_drift = _drifts(seed)
+    assert psbox_drift < 0.10, (
+        "seed {}: psbox drift {:.1%}".format(seed, psbox_drift)
+    )
+    assert psbox_drift < baseline_drift, (
+        "seed {}: psbox {:.1%} vs baseline {:.1%}".format(
+            seed, psbox_drift, baseline_drift
+        )
+    )
+
+
+@pytest.mark.parametrize("seed", [3, 17, 55])
+def test_gpu_window_invariant_across_seeds(seed):
+    """No foreign command in flight inside psbox windows, any seed."""
+    platform = Platform.full(seed=seed)
+    kernel = Kernel(platform)
+    boxed = App(kernel, "boxed")
+    other = App(kernel, "other")
+
+    def flow(app, n, cycles):
+        def behavior():
+            for _ in range(n):
+                yield SubmitAccel("gpu", "x", cycles, 0.6, wait=True)
+                yield Sleep(from_usec(800))
+        return behavior
+
+    boxed.spawn(flow(boxed, 20, 1.5e6)())
+    other.spawn(flow(other, 40, 2.5e6)())
+    box = boxed.create_psbox(("gpu",))
+    box.enter()
+    platform.sim.run(until=4 * SEC)
+
+    dispatches = {}
+    foreign = []
+    for t, kind, payload in platform.gpu.log:
+        if payload.get("app") != other.id:
+            continue
+        if kind == "dispatch":
+            dispatches[payload["seq"]] = t
+        elif kind == "complete":
+            foreign.append((dispatches.pop(payload["seq"]), t))
+    windows = box.vmeter.windows("gpu", 0, platform.sim.now)
+    assert windows
+    for lo, hi in windows:
+        for f0, f1 in foreign:
+            assert min(hi, f1) - max(lo, f0) <= 0

@@ -1,0 +1,26 @@
+"""Shared fixtures for kernel tests."""
+
+import pytest
+
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel, KernelConfig
+
+
+@pytest.fixture
+def booted():
+    """A full platform with a booted kernel."""
+    platform = Platform.full(seed=1)
+    kernel = Kernel(platform)
+    return platform, kernel
+
+
+@pytest.fixture
+def booted_cpu_only():
+    platform = Platform.am57(seed=1)
+    kernel = Kernel(platform)
+    return platform, kernel
+
+
+def make_app(kernel, name="app", weight=1.0):
+    return App(kernel, name, weight=weight)

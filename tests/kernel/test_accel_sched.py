@@ -1,0 +1,169 @@
+"""Accelerator scheduler tests: fair queueing + temporal balloons."""
+
+import pytest
+
+from repro.sim.clock import MSEC, SEC
+
+from tests.kernel.conftest import make_app
+
+
+def submit_n(kernel, app, n, cycles=2e6, power=0.5, device="gpu"):
+    sched = kernel.accel_scheduler(device)
+    commands = []
+    for i in range(n):
+        commands.append(
+            sched.submit(app, kind="k{}".format(i), cycles=cycles,
+                         power_w=power)
+        )
+    return commands
+
+
+def test_commands_dispatch_and_complete(booted):
+    platform, kernel = booted
+    app = make_app(kernel)
+    done = []
+    kernel.gpu_sched.submit(app, "a", 2e6, 0.5,
+                            on_complete=lambda c: done.append(c.seq))
+    platform.sim.run(until=SEC)
+    assert len(done) == 1
+
+
+def test_occupancy_billing_accumulates(booted):
+    platform, kernel = booted
+    app = make_app(kernel)
+    submit_n(kernel, app, 2)
+    platform.sim.run(until=SEC)
+    q = kernel.gpu_sched.queues[app.id]
+    assert q.vruntime > 0
+
+
+def test_fair_pick_prefers_lower_vruntime(booted):
+    platform, kernel = booted
+    hog = make_app(kernel, "hog")
+    newcomer = make_app(kernel, "newcomer")
+    submit_n(kernel, hog, 30, cycles=4e6)
+    platform.sim.run(until=100 * MSEC)
+    first = kernel.gpu_sched.submit(newcomer, "n", 1e6, 0.4)
+    platform.sim.run(until=SEC)
+    # The newcomer (zero vruntime) jumps ahead of the hog's backlog.
+    hog_dispatches_after = [
+        payload["seq"]
+        for t, kind, payload in kernel.gpu_sched.log.filter(kind="dispatch")
+        if payload["app"] == hog.id and t > first.submit_t
+    ]
+    assert first.dispatch_t - first.submit_t < 30 * MSEC
+    assert hog_dispatches_after, "hog should still make progress"
+
+
+def test_balloon_drains_before_serving(booted):
+    platform, kernel = booted
+    victim = make_app(kernel, "victim")
+    boxed = make_app(kernel, "boxed")
+    submit_n(kernel, victim, 2, cycles=8e6)
+    platform.sim.run(until=MSEC)
+    kernel.gpu_sched.set_psbox(boxed)
+    boxed_cmd = kernel.gpu_sched.submit(boxed, "b", 1e6, 0.5)
+    platform.sim.run(until=SEC)
+    # The boxed command must not overlap any victim command in flight.
+    for t, kind, payload in kernel.gpu_sched.log.filter(kind="complete"):
+        if payload["app"] == victim.id:
+            assert boxed_cmd.dispatch_t >= t or boxed_cmd.dispatch_t is None \
+                or t <= boxed_cmd.dispatch_t
+
+
+def test_balloon_window_hooks_fire(booted):
+    platform, kernel = booted
+    boxed = make_app(kernel, "boxed")
+    events = []
+    kernel.gpu_sched.balloon_in_hooks.append(
+        lambda app, t: events.append(("in", t)))
+    kernel.gpu_sched.balloon_out_hooks.append(
+        lambda app, t: events.append(("out", t)))
+    kernel.gpu_sched.set_psbox(boxed)
+    submit_n(kernel, boxed, 1)
+    other = make_app(kernel, "other")
+    submit_n(kernel, other, 1)
+    platform.sim.run(until=SEC)
+    kinds = [k for k, _t in events]
+    assert "in" in kinds and "out" in kinds
+    assert kinds.index("in") < kinds.index("out")
+
+
+def test_no_foreign_inflight_during_window(booted):
+    """The central balloon invariant, checked against the hardware log."""
+    platform, kernel = booted
+    import itertools
+    boxed = make_app(kernel, "boxed")
+    other = make_app(kernel, "other")
+    windows = []
+    kernel.gpu_sched.balloon_in_hooks.append(lambda a, t: windows.append([t, None]))
+    kernel.gpu_sched.balloon_out_hooks.append(
+        lambda a, t: windows[-1].__setitem__(1, t))
+    kernel.gpu_sched.set_psbox(boxed)
+
+    def boxed_flow():
+        from repro.kernel.actions import Sleep, SubmitAccel
+        for _ in range(10):
+            yield SubmitAccel("gpu", "b", 2e6, 0.5, wait=True)
+            yield Sleep(3 * MSEC)
+
+    def other_flow():
+        from repro.kernel.actions import SubmitAccel
+        for _ in range(40):
+            yield SubmitAccel("gpu", "o", 3e6, 0.6, wait=True)
+
+    boxed.spawn(boxed_flow())
+    other.spawn(other_flow())
+    platform.sim.run(until=2 * SEC)
+    assert windows
+    # Reconstruct foreign in-flight intervals from the engine log.
+    dispatches = {}
+    foreign = []
+    for t, kind, payload in platform.gpu.log:
+        if payload.get("app") != other.id:
+            continue
+        if kind == "dispatch":
+            dispatches[payload["seq"]] = t
+        elif kind == "complete":
+            foreign.append((dispatches.pop(payload["seq"]), t))
+    for lo, hi in windows:
+        hi = hi if hi is not None else platform.sim.now
+        for f0, f1 in foreign:
+            assert min(hi, f1) - max(lo, f0) <= 0, (
+                "foreign command in flight inside a psbox window"
+            )
+
+
+def test_set_psbox_twice_rejected(booted):
+    platform, kernel = booted
+    a, b = make_app(kernel, "a"), make_app(kernel, "b")
+    kernel.gpu_sched.set_psbox(a)
+    with pytest.raises(RuntimeError):
+        kernel.gpu_sched.set_psbox(b)
+
+
+def test_leave_mid_window_restores_normal_service(booted):
+    platform, kernel = booted
+    boxed = make_app(kernel, "boxed")
+    other = make_app(kernel, "other")
+    kernel.gpu_sched.set_psbox(boxed)
+    submit_n(kernel, boxed, 4, cycles=6e6)
+    submit_n(kernel, other, 2)
+    platform.sim.run(until=10 * MSEC)
+    kernel.gpu_sched.set_psbox(None)
+    platform.sim.run(until=SEC)
+    assert kernel.gpu_sched.state == "normal"
+    completes = [p["app"] for _t, _k, p in
+                 kernel.gpu_sched.log.filter(kind="complete")]
+    assert completes.count(other.id) == 2
+
+
+def test_dispatch_waits_metric(booted):
+    platform, kernel = booted
+    app = make_app(kernel)
+    submit_n(kernel, app, 3, cycles=4e6)
+    platform.sim.run(until=SEC)
+    waits = kernel.gpu_sched.dispatch_waits(app_id=app.id)
+    assert len(waits) == 3
+    assert waits[0] == 0            # empty device: immediate dispatch
+    assert waits[2] > 0             # third waits for a slot

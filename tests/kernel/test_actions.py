@@ -1,0 +1,52 @@
+"""Unit tests for kernel actions (validation + immutability)."""
+
+import dataclasses
+
+import pytest
+
+from repro.kernel.actions import (
+    Compute,
+    SendPacket,
+    Sleep,
+    SubmitAccel,
+    WaitAll,
+    WaitOutstanding,
+)
+
+
+def test_compute_requires_positive_cycles():
+    with pytest.raises(ValueError):
+        Compute(0)
+    assert Compute(1e6).cycles == 1e6
+
+
+def test_sleep_rejects_negative():
+    with pytest.raises(ValueError):
+        Sleep(-1)
+    assert Sleep(0).duration == 0
+
+
+def test_wait_outstanding_requires_positive_limit():
+    with pytest.raises(ValueError):
+        WaitOutstanding(0)
+    assert WaitOutstanding(2).limit == 2
+
+
+def test_actions_are_frozen():
+    action = Compute(1e6)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        action.cycles = 2e6
+
+
+def test_submit_defaults():
+    action = SubmitAccel("gpu", "draw", 1e6, 0.5)
+    assert action.wait is True
+
+
+def test_send_defaults():
+    action = SendPacket(1000)
+    assert action.wait is False
+
+
+def test_waitall_is_constructible():
+    assert WaitAll() is not None

@@ -1,0 +1,139 @@
+"""Scheduler behaviour tests: fairness, preemption, migration."""
+
+import pytest
+
+from repro.kernel.actions import Compute, Sleep
+from repro.sim.clock import MSEC, SEC, from_usec
+
+from tests.kernel.conftest import make_app
+
+
+def spin_app(kernel, name, weight=1.0, tasks=1, burst=4e6, pause_us=150):
+    app = make_app(kernel, name, weight=weight)
+
+    def behavior():
+        while True:
+            yield Compute(burst)
+            app.count("work", 1)
+            if pause_us:
+                yield Sleep(from_usec(pause_us))
+
+    for i in range(tasks):
+        app.spawn(behavior(), name="{}.t{}".format(name, i))
+    return app
+
+
+def test_single_task_saturates_one_core(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    spin_app(kernel, "solo")
+    platform.sim.run(until=SEC)
+    assert platform.cpu.max_core_utilization(0, SEC) > 0.9
+    assert platform.cpu.utilization(0, SEC) < 0.6
+
+
+def test_two_tasks_use_both_cores(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    spin_app(kernel, "a")
+    spin_app(kernel, "b")
+    platform.sim.run(until=SEC)
+    assert platform.cpu.utilization(200 * MSEC, SEC) > 0.9
+
+
+def test_equal_weights_get_equal_throughput(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    apps = [spin_app(kernel, "app{}".format(i)) for i in range(4)]
+    platform.sim.run(until=2 * SEC)
+    rates = [app.rate("work", SEC, 2 * SEC) for app in apps]
+    assert min(rates) > 0
+    assert max(rates) / min(rates) < 1.35
+
+
+def test_weights_bias_cpu_share():
+    # Two pure spinners contending for a single core: the weight-2 app
+    # should get roughly twice the work rate.  (Pure spinners on one core:
+    # wakeup re-normalization and placement would otherwise mask weights,
+    # as they do for sleepers in CFS.)
+    from repro.hw.platform import Platform
+    from repro.kernel.kernel import Kernel
+
+    platform = Platform(__import__("repro.sim.engine",
+                                   fromlist=["Simulator"]).Simulator(1),
+                        components=("cpu",), n_cpu_cores=1)
+    kernel = Kernel(platform)
+    heavy = spin_app(kernel, "heavy", weight=2.0, pause_us=0)
+    light = spin_app(kernel, "light", weight=1.0, pause_us=0)
+    platform.sim.run(until=3 * SEC)
+    heavy_rate = heavy.rate("work", SEC, 3 * SEC)
+    light_rate = light.rate("work", SEC, 3 * SEC)
+    assert heavy_rate > 1.5 * light_rate
+    assert heavy_rate < 2.6 * light_rate
+
+
+def test_sleeping_app_gets_cpu_promptly_on_wake(booted_cpu_only):
+    """Wakeup preemption: an interactive task is not starved by spinners."""
+    platform, kernel = booted_cpu_only
+    spin_app(kernel, "spin1")
+    spin_app(kernel, "spin2")
+    interactive = make_app(kernel, "interactive")
+    latencies = []
+
+    def behavior():
+        while True:
+            yield Sleep(20 * MSEC)
+            wake = kernel.now
+            yield Compute(0.3e6)
+            latencies.append(kernel.now - wake)
+
+    interactive.spawn(behavior())
+    platform.sim.run(until=SEC)
+    assert latencies, "interactive app never ran"
+    mean_latency = sum(latencies) / len(latencies)
+    assert mean_latency < 8 * MSEC
+
+
+def test_work_conservation_no_idle_with_backlog(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    for i in range(3):
+        spin_app(kernel, "w{}".format(i), pause_us=50)
+    platform.sim.run(until=SEC)
+    # Three runnable CPU hogs on two cores: both cores should be busy.
+    assert platform.cpu.utilization(200 * MSEC, SEC) > 0.93
+
+
+def test_min_vruntime_monotonic(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    spin_app(kernel, "a")
+    spin_app(kernel, "b")
+    samples = []
+
+    def sample():
+        samples.append(tuple(s.min_vruntime for s in kernel.smp.cores))
+        platform.sim.call_later(50 * MSEC, sample)
+
+    platform.sim.call_later(50 * MSEC, sample)
+    platform.sim.run(until=SEC)
+    for earlier, later in zip(samples, samples[1:]):
+        for a, b in zip(earlier, later):
+            assert b >= a
+
+
+def test_task_runs_after_cpu_bound_storm_ends(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    storm = make_app(kernel, "storm")
+
+    def storm_behavior():
+        for _ in range(50):
+            yield Compute(2e6)
+
+    storm.spawn(storm_behavior())
+    late = make_app(kernel, "late")
+    marks = []
+
+    def late_behavior():
+        yield Sleep(100 * MSEC)
+        yield Compute(1e6)
+        marks.append(kernel.now)
+
+    late.spawn(late_behavior())
+    platform.sim.run(until=2 * SEC)
+    assert marks

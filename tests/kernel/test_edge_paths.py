@@ -1,0 +1,118 @@
+"""Edge-path coverage: rarely-hit but supported state transitions."""
+
+import pytest
+
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC
+from repro.sim.engine import Simulator
+
+from tests.kernel.conftest import make_app
+
+
+def test_cpu_less_platform_rejects_tasks():
+    platform = Platform(Simulator(0), components=("gpu",))
+    kernel = Kernel(platform)
+    app = App(kernel, "a")
+    with pytest.raises(RuntimeError):
+        app.spawn(iter(()))
+
+
+def test_accel_psbox_leave_during_drain_others(booted):
+    """Leaving before the window ever opened must unwind cleanly."""
+    platform, kernel = booted
+    victim = make_app(kernel, "victim")
+    boxed = make_app(kernel, "boxed")
+    sched = kernel.gpu_sched
+    sched.submit(victim, "long", 20e6, 0.8)     # keeps the engine busy
+    sched.set_psbox(boxed)
+    sched.submit(boxed, "b", 1e6, 0.5)          # triggers drain-others
+    assert sched.state == "drain_others"
+    sched.set_psbox(None)                       # leave mid-drain
+    assert sched.state == "normal"
+    platform.sim.run(until=SEC)
+    completes = [p["app"] for _t, _k, p in sched.log.filter(kind="complete")]
+    assert boxed.id in completes and victim.id in completes
+
+
+def test_net_psbox_leave_during_drain(booted):
+    platform, kernel = booted
+    victim = make_app(kernel, "victim")
+    boxed = make_app(kernel, "boxed")
+    net = kernel.net_sched
+    for _ in range(3):
+        net.send(victim, 40_000)
+    net.set_psbox(boxed)
+    net.send(boxed, 10_000)
+    assert net.state == "drain_others"
+    net.set_psbox(None)
+    assert net.state == "normal"
+    platform.sim.run(until=2 * SEC)
+    completes = [p["app"] for _t, _k, p in net.log.filter(kind="complete")]
+    assert boxed.id in completes
+
+
+def test_governor_disable_flag(booted):
+    platform, kernel = booted
+    governor = kernel.cpu_governor
+    governor.enabled = False
+    app = make_app(kernel, "a")
+
+    def behavior():
+        from repro.kernel.actions import Compute
+        while True:
+            yield Compute(4e6)
+
+    app.spawn(behavior())
+    platform.sim.run(until=SEC)
+    assert platform.cpu.freq_domain.index == 0   # never ramped
+
+
+def test_sandboxed_app_exits_inside_balloon(booted):
+    """The balloon must end and the machine recover when the enclosed
+    app's last task finishes mid-coscheduling."""
+    platform, kernel = booted
+    from repro.kernel.actions import Compute, Sleep
+    from repro.sim.clock import from_usec
+
+    boxed = make_app(kernel, "boxed")
+
+    def short_life():
+        for _ in range(10):
+            yield Compute(3e6)
+
+    boxed.spawn(short_life())
+    other = make_app(kernel, "other")
+
+    def forever():
+        while True:
+            yield Compute(4e6)
+            other.count("work", 1)
+            yield Sleep(from_usec(150))
+
+    other.spawn(forever())
+    box = boxed.create_psbox(("cpu",))
+    box.enter()
+    platform.sim.run(until=2 * SEC)
+    assert boxed.finished
+    assert kernel.smp.active_cosched is None
+    assert other.rate("work", SEC, 2 * SEC) > 100
+
+
+def test_psbox_enter_before_any_task(booted):
+    """Entering a psbox for an app with no runnable work is harmless."""
+    platform, kernel = booted
+    app = make_app(kernel, "lazy")
+    box = app.create_psbox(("cpu",))
+    box.enter()
+    platform.sim.run(until=100 * MSEC)
+    assert box.read() >= 0
+    assert box.vmeter.windows("cpu", 0, 100 * MSEC) == []
+
+
+def test_format_table_with_no_rows():
+    from repro.analysis.report import format_table
+
+    out = format_table(["a", "b"], [])
+    assert "a" in out

@@ -1,0 +1,110 @@
+"""Governor tests: ondemand dynamics and per-context virtualization."""
+
+import pytest
+
+from repro.hw.dvfs import FreqDomain
+from repro.hw.power import CpuPowerModel
+from repro.kernel.governor import WORLD, OndemandGovernor
+from repro.sim.clock import MSEC, SEC, from_msec
+from repro.sim.engine import Simulator
+
+
+class FakeUtil:
+    """A controllable utilization source."""
+
+    def __init__(self):
+        self.value = 0.0
+
+    def __call__(self, t0, t1):
+        return self.value
+
+
+def make_governor(window=from_msec(25), tick=from_msec(5)):
+    sim = Simulator()
+    domain = FreqDomain(sim, "d", CpuPowerModel().opps, initial_index=0)
+    util = FakeUtil()
+    gov = OndemandGovernor(sim, domain, util, window=window, tick=tick)
+    return sim, domain, util, gov
+
+
+def test_high_utilization_jumps_to_max():
+    sim, domain, util, gov = make_governor()
+    util.value = 1.0
+    sim.run(until=100 * MSEC)
+    assert domain.index == domain.max_index
+
+
+def test_low_utilization_steps_down_gradually():
+    sim, domain, util, gov = make_governor()
+    util.value = 1.0
+    sim.run(until=100 * MSEC)
+    util.value = 0.0
+    sim.run(until=130 * MSEC)
+    # One window of low utilization: exactly one step down, not a crash
+    # to the bottom.
+    assert domain.index == domain.max_index - 1
+    sim.run(until=400 * MSEC)
+    assert domain.index == 0
+
+
+def test_medium_utilization_holds_frequency():
+    sim, domain, util, gov = make_governor()
+    util.value = 1.0
+    sim.run(until=100 * MSEC)
+    util.value = 0.5
+    sim.run(until=SEC)
+    assert domain.index == domain.max_index
+
+
+def test_context_switch_saves_and_restores_opp():
+    sim, domain, util, gov = make_governor()
+    util.value = 1.0
+    sim.run(until=100 * MSEC)
+    assert domain.index == domain.max_index
+
+    gov.switch_context("psbox.1")
+    # Fresh context: pristine lowest OPP, no inherited lingering state.
+    assert domain.index == 0
+    gov.switch_context(WORLD)
+    assert domain.index == domain.max_index
+
+
+def test_contexts_evolve_independently():
+    sim, domain, util, gov = make_governor()
+    util.value = 1.0
+    gov.switch_context("psbox.1")
+    sim.run(until=100 * MSEC)
+    assert domain.index == domain.max_index    # psbox ctx ramped
+    gov.switch_context(WORLD)
+    assert domain.index == 0                   # world never saw the load
+
+
+def test_inactive_context_window_does_not_fill():
+    sim, domain, util, gov = make_governor()
+    util.value = 1.0
+    gov.switch_context("psbox.1")
+    sim.run(until=100 * MSEC)
+    gov.switch_context(WORLD)
+    util.value = 0.0
+    sim.run(until=SEC)
+    # The psbox context saw only high utilization while active; its saved
+    # OPP must still be max.
+    gov.switch_context("psbox.1")
+    assert domain.index == domain.max_index
+
+
+def test_drop_context():
+    sim, domain, util, gov = make_governor()
+    gov.switch_context("psbox.1")
+    gov.drop_context("psbox.1")
+    assert gov.active == WORLD
+    with pytest.raises(ValueError):
+        gov.drop_context(WORLD)
+
+
+def test_stop_halts_ticks():
+    sim, domain, util, gov = make_governor()
+    util.value = 1.0
+    gov.stop()
+    sim.run(until=SEC)
+    assert domain.index == 0

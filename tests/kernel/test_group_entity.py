@@ -1,0 +1,80 @@
+"""Unit tests for GroupEntity/AppGroup internals."""
+
+import pytest
+
+from repro.apps.base import App
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel
+from repro.kernel.smp import AppGroup
+
+
+class FakeTask:
+    def __init__(self, vruntime, runnable=True):
+        self.member_vruntime = vruntime
+        self.runnable = runnable
+
+
+def make_group():
+    platform = Platform.am57(seed=0)
+    kernel = Kernel(platform)
+    app = App(kernel, "x")
+    return AppGroup(app, n_cores=2)
+
+
+def test_group_has_one_entity_per_core():
+    group = make_group()
+    assert len(group.entities) == 2
+    assert group.entities[0].core_id == 0
+    assert group.entities[1].core_id == 1
+
+
+def test_pick_member_prefers_lowest_vruntime():
+    group = make_group()
+    entity = group.entities[0]
+    low = FakeTask(1.0)
+    high = FakeTask(5.0)
+    entity.members.extend([high, low])
+    assert entity.pick_member() is low
+
+
+def test_pick_member_skips_non_runnable():
+    group = make_group()
+    entity = group.entities[0]
+    blocked = FakeTask(0.0, runnable=False)
+    ready = FakeTask(9.0)
+    entity.members.extend([blocked, ready])
+    assert entity.pick_member() is ready
+
+
+def test_pick_member_empty_returns_none():
+    group = make_group()
+    assert group.entities[0].pick_member() is None
+
+
+def test_min_member_vruntime():
+    group = make_group()
+    entity = group.entities[0]
+    assert entity.min_member_vruntime() == 0.0
+    entity.members.extend([FakeTask(3.0), FakeTask(1.5)])
+    assert entity.min_member_vruntime() == 1.5
+
+
+def test_active_member_count_spans_cores():
+    group = make_group()
+    group.entities[0].members.append(FakeTask(0.0))
+    group.entities[1].members.extend([FakeTask(0.0), FakeTask(1.0)])
+    assert group.active_member_count() == 3
+
+
+def test_entity_weight_follows_app_weight():
+    group = make_group()
+    group.app.weight = 2.5
+    assert group.entities[0].weight == 2.5
+
+
+def test_runnable_reflects_membership():
+    group = make_group()
+    entity = group.entities[0]
+    assert not entity.runnable
+    entity.members.append(FakeTask(0.0))
+    assert entity.runnable

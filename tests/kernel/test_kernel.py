@@ -1,0 +1,65 @@
+"""Kernel facade tests."""
+
+import pytest
+
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.sim.clock import MSEC
+
+from tests.kernel.conftest import make_app
+
+
+def test_boot_full_platform_wires_everything(booted):
+    platform, kernel = booted
+    assert kernel.smp is not None
+    assert kernel.cpu_governor is not None
+    assert kernel.gpu_sched is not None
+    assert kernel.dsp_sched is not None
+    assert kernel.net_sched is not None
+
+
+def test_boot_partial_platform(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    assert kernel.net_sched is None
+    with pytest.raises(KeyError):
+        kernel.accel_scheduler("nope")
+
+
+def test_now_tracks_sim_clock(booted):
+    platform, kernel = booted
+    platform.sim.run(until=5 * MSEC)
+    assert kernel.now == 5 * MSEC
+
+
+def test_register_and_spawn(booted):
+    platform, kernel = booted
+    app = make_app(kernel, "a")
+    assert kernel.apps[app.id] is app
+
+    def behavior():
+        yield from ()
+
+    task = kernel.spawn(app, behavior())
+    assert task in kernel.tasks
+    assert task in app.tasks
+
+
+def test_vstate_disabled_removes_holders():
+    platform = Platform.full(seed=0)
+    kernel = Kernel(platform, KernelConfig(vstate_enabled=False))
+    assert kernel.gpu_sched.state_holder is None
+    assert kernel.net_sched.state_holder is None
+
+
+def test_config_propagates_to_schedulers():
+    platform = Platform.full(seed=0)
+    kernel = Kernel(platform, KernelConfig(draining_enabled=False,
+                                           loans_enabled=False))
+    assert not kernel.gpu_sched.draining_enabled
+    assert not kernel.net_sched.draining_enabled
+    assert not kernel.smp.loans_enabled
+
+
+def test_run_passthrough(booted):
+    platform, kernel = booted
+    assert kernel.run(until=MSEC) == MSEC

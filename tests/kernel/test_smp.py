@@ -1,0 +1,180 @@
+"""Coscheduling (spatial balloon) mechanism tests."""
+
+import pytest
+
+from repro.kernel.actions import Compute, Sleep
+from repro.sim.clock import MSEC, SEC, from_usec
+
+from tests.kernel.conftest import make_app
+
+
+def spinner(kernel, name, burst=4e6, pause_us=150, tasks=1):
+    app = make_app(kernel, name)
+
+    def behavior():
+        while True:
+            yield Compute(burst)
+            app.count("work", 1)
+            yield Sleep(from_usec(pause_us))
+
+    for i in range(tasks):
+        app.spawn(behavior(), name="{}.t{}".format(name, i))
+    return app
+
+
+def enter_psbox(app, components=("cpu",)):
+    box = app.create_psbox(components)
+    box.enter()
+    return box
+
+
+def test_balloon_forces_sibling_core_idle(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    target = spinner(kernel, "boxed")
+    other = spinner(kernel, "other")
+    box = enter_psbox(target)
+    platform.sim.run(until=SEC)
+    windows = box.vmeter.windows("cpu", 0, SEC)
+    assert windows, "no balloon windows recorded"
+    # Inside windows, at most the boxed app owns any core; the others are
+    # forced idle or run the boxed app.
+    foreign = 0
+    for lo, hi in windows:
+        for trace in platform.cpu.owner_traces:
+            for t0, t1, owner in trace.segments(lo, hi):
+                if owner not in (-1.0, float(target.id)):
+                    foreign += t1 - t0
+    covered = sum(hi - lo for lo, hi in windows)
+    # IPI flight allows a tiny, bounded leak at window edges.
+    assert foreign < 0.02 * covered
+
+
+def test_balloon_windows_cover_boxed_execution(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    target = spinner(kernel, "boxed")
+    spinner(kernel, "other")
+    box = enter_psbox(target)
+    platform.sim.run(until=SEC)
+    # All the boxed app's core-ownership time falls inside windows.
+    windows = box.vmeter.windows("cpu", 0, SEC)
+    inside = 0
+    total = 0
+    for trace in platform.cpu.owner_traces:
+        for t0, t1, owner in trace.segments(0, SEC):
+            if owner == float(target.id):
+                total += t1 - t0
+                for lo, hi in windows:
+                    s, e = max(t0, lo), min(t1, hi)
+                    if e > s:
+                        inside += e - s
+    assert total > 0
+    assert inside > 0.98 * total
+
+
+def test_cosched_log_balanced(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    target = spinner(kernel, "boxed")
+    spinner(kernel, "other")
+    enter_psbox(target)
+    platform.sim.run(until=SEC)
+    begins = len(kernel.smp.log.filter(kind="cosched_begin"))
+    ends = len(kernel.smp.log.filter(kind="cosched_end"))
+    assert begins > 0
+    assert abs(begins - ends) <= 1
+
+
+def test_only_one_balloon_at_a_time(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    a = spinner(kernel, "a")
+    b = spinner(kernel, "b")
+    box_a = enter_psbox(a)
+    box_b = enter_psbox(b)
+    platform.sim.run(until=SEC)
+    wins_a = box_a.vmeter.windows("cpu", 0, SEC)
+    wins_b = box_b.vmeter.windows("cpu", 0, SEC)
+    assert wins_a and wins_b, "both sandboxes should get balloons"
+    overlap = 0
+    for a0, a1 in wins_a:
+        for b0, b1 in wins_b:
+            overlap += max(0, min(a1, b1) - max(a0, b0))
+    assert overlap == 0
+
+
+def test_leave_psbox_ends_active_balloon(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    target = spinner(kernel, "boxed")
+    spinner(kernel, "other")
+    box = enter_psbox(target)
+    platform.sim.run(until=200 * MSEC)
+    box.leave()
+    assert kernel.smp.active_cosched is None
+    frac_before = box.vmeter.observed_fraction("cpu", 0, 200 * MSEC)
+    platform.sim.run(until=SEC)
+    frac_after = box.vmeter.observed_fraction("cpu", 250 * MSEC, SEC)
+    assert frac_before > 0
+    assert frac_after == 0.0
+
+
+def test_balloon_ends_when_members_sleep(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    target = make_app(kernel, "napper")
+
+    def behavior():
+        for _ in range(5):
+            yield Compute(2e6)
+            yield Sleep(20 * MSEC)
+
+    target.spawn(behavior())
+    spinner(kernel, "other")
+    box = enter_psbox(target)
+    platform.sim.run(until=SEC)
+    windows = box.vmeter.windows("cpu", 0, SEC)
+    # One window per burst (balloons close during the 20 ms sleeps).
+    assert len(windows) >= 4
+    frac = box.vmeter.observed_fraction("cpu", 0, 400 * MSEC)
+    assert frac < 0.6
+
+
+def test_loans_disadvantage_sandboxed_app(booted_cpu_only):
+    """With three CPU hogs, the sandboxed one pays for its balloon waste."""
+    platform, kernel = booted_cpu_only
+    apps = [spinner(kernel, "i{}".format(i)) for i in range(3)]
+    box = apps[2].create_psbox(("cpu",))
+    platform.sim.at(int(0.8 * SEC), box.enter)
+    platform.sim.run(until=int(2.6 * SEC))
+    t0, t1 = int(1.0 * SEC), int(2.6 * SEC)
+    boxed_rate = apps[2].rate("work", t0, t1)
+    other_rates = [apps[0].rate("work", t0, t1), apps[1].rate("work", t0, t1)]
+    assert boxed_rate < 0.7 * min(other_rates)
+
+
+def test_loans_disabled_spreads_the_loss(booted_cpu_only):
+    """Ablation: naive admission lets the balloon's cost leak onto others."""
+    from repro.hw.platform import Platform
+    from repro.kernel.kernel import Kernel, KernelConfig
+
+    def run(loans):
+        platform = Platform.am57(seed=1)
+        kernel = Kernel(platform, KernelConfig(loans_enabled=loans))
+        apps = [spinner(kernel, "i{}".format(i)) for i in range(3)]
+        box = apps[2].create_psbox(("cpu",))
+        platform.sim.at(int(0.8 * SEC), box.enter)
+        platform.sim.run(until=int(2.6 * SEC))
+        t0, t1 = int(1.0 * SEC), int(2.6 * SEC)
+        return [app.rate("work", t0, t1) for app in apps]
+
+    with_loans = run(True)
+    without = run(False)
+    # With charging, the loss is confined to the boxed app (index 2);
+    # without it, the boxed app free-rides and the others pay.
+    assert with_loans[2] < 0.7 * min(with_loans[:2])
+    assert without[2] > 0.8 * min(without[:2])
+    assert min(without[:2]) < 0.95 * min(with_loans[:2])
+
+
+def test_alone_app_keeps_balloon_without_competitors(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    target = spinner(kernel, "solo", pause_us=50)
+    box = enter_psbox(target)
+    platform.sim.run(until=SEC)
+    assert box.vmeter.observed_fraction("cpu", 100 * MSEC, SEC) > 0.95

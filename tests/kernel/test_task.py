@@ -1,0 +1,174 @@
+"""Unit tests for task behaviours and their state machine."""
+
+import pytest
+
+from repro.apps.base import App
+from repro.kernel.actions import (
+    Compute,
+    SendPacket,
+    Sleep,
+    SubmitAccel,
+    WaitAll,
+    WaitOutstanding,
+)
+from repro.sim.clock import MSEC, SEC
+
+from tests.kernel.conftest import make_app
+
+
+def test_compute_then_finish(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    app = make_app(kernel)
+    marks = []
+
+    def behavior():
+        yield Compute(3e6)
+        marks.append(kernel.now)
+
+    task = app.spawn(behavior())
+    platform.sim.run(until=SEC)
+    assert task.state == "done"
+    assert marks and marks[0] > 0
+    assert app.finished
+
+
+def test_sleep_blocks_for_duration(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    app = make_app(kernel)
+    marks = []
+
+    def behavior():
+        yield Sleep(5 * MSEC)
+        marks.append(kernel.now)
+
+    app.spawn(behavior())
+    platform.sim.run(until=SEC)
+    assert marks == [5 * MSEC]
+
+
+def test_zero_sleep_is_a_noop(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    app = make_app(kernel)
+    marks = []
+
+    def behavior():
+        yield Sleep(0)
+        marks.append("ran")
+
+    app.spawn(behavior())
+    platform.sim.run(until=MSEC)
+    assert marks == ["ran"]
+
+
+def test_submit_wait_blocks_until_completion(booted):
+    platform, kernel = booted
+    app = make_app(kernel)
+    marks = []
+
+    def behavior():
+        yield SubmitAccel("gpu", "draw", 2e6, 0.5, wait=True)
+        marks.append(kernel.now)
+
+    app.spawn(behavior())
+    platform.sim.run(until=SEC)
+    assert len(marks) == 1
+    assert marks[0] >= 2e6 / 532e6 * 1e9   # at least the top-speed exec time
+
+
+def test_waitall_gathers_async_submissions(booted):
+    platform, kernel = booted
+    app = make_app(kernel)
+    marks = []
+
+    def behavior():
+        yield SubmitAccel("gpu", "a", 1e6, 0.5, wait=False)
+        yield SubmitAccel("gpu", "b", 1e6, 0.5, wait=False)
+        yield WaitAll()
+        marks.append(app.counters.get("gpu_commands", 0))
+
+    app.spawn(behavior())
+    platform.sim.run(until=SEC)
+    assert marks == [2]
+
+
+def test_wait_outstanding_limits_pipeline_depth(booted):
+    platform, kernel = booted
+    app = make_app(kernel)
+    depths = []
+
+    def behavior():
+        task = app.tasks[0]
+        for _ in range(4):
+            yield SubmitAccel("gpu", "x", 1e6, 0.5, wait=False)
+            yield WaitOutstanding(2)
+            depths.append(task.outstanding)
+        yield WaitAll()
+
+    app.spawn(behavior())
+    platform.sim.run(until=SEC)
+    assert all(d < 2 for d in depths)
+    assert app.counters["gpu_commands"] == 4
+
+
+def test_send_packet_counts_bytes(booted):
+    platform, kernel = booted
+    app = make_app(kernel)
+
+    def behavior():
+        yield SendPacket(10_000, wait=True)
+
+    app.spawn(behavior())
+    platform.sim.run(until=SEC)
+    assert app.counters["tx_bytes"] == 10_000
+
+
+def test_unknown_action_raises(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    app = make_app(kernel)
+
+    def behavior():
+        yield "bogus"
+
+    app.spawn(behavior())
+    with pytest.raises(TypeError):
+        platform.sim.run(until=MSEC)
+
+
+def test_task_cannot_start_twice(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    app = make_app(kernel)
+
+    def behavior():
+        yield Sleep(MSEC)
+
+    task = app.spawn(behavior())
+    platform.sim.run(until=MSEC // 2)
+    with pytest.raises(RuntimeError):
+        task.start()
+
+
+def test_finished_at_recorded(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    app = make_app(kernel)
+
+    def behavior():
+        yield Sleep(3 * MSEC)
+
+    app.spawn(behavior())
+    platform.sim.run(until=SEC)
+    assert app.finished_at == 3 * MSEC
+
+
+def test_multiple_tasks_one_app(booted_cpu_only):
+    platform, kernel = booted_cpu_only
+    app = make_app(kernel)
+
+    def behavior(tag):
+        yield Compute(1e6)
+        app.count(tag, 1)
+
+    app.spawn(behavior("t1"))
+    app.spawn(behavior("t2"))
+    platform.sim.run(until=SEC)
+    assert app.counters == {"t1": 1, "t2": 1}
+    assert app.finished

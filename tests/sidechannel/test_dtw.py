@@ -1,0 +1,101 @@
+"""Tests + properties for dynamic time warping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sidechannel.dtw import dtw_distance
+
+seqs = st.lists(st.floats(-5, 5, allow_nan=False), min_size=1, max_size=30)
+
+
+def test_identical_sequences_have_zero_distance():
+    a = [1.0, 2.0, 3.0, 2.0]
+    assert dtw_distance(a, a) == 0.0
+
+
+def test_known_small_example():
+    # Classic: [0,1,2] vs [0,2] — align 1 with either neighbour.
+    assert dtw_distance([0, 1, 2], [0, 2]) == pytest.approx(1.0)
+
+
+def test_time_shift_is_cheap_amplitude_is_not():
+    base = np.sin(np.linspace(0, 6, 60))
+    shifted = np.sin(np.linspace(0.4, 6.4, 60))
+    scaled = 2.0 * base
+    assert dtw_distance(base, shifted) < dtw_distance(base, scaled)
+
+
+def test_window_constrains_alignment():
+    a = np.zeros(50)
+    b = np.zeros(50)
+    b[40] = 5.0
+    a[5] = 5.0
+    unconstrained = dtw_distance(a, b)
+    constrained = dtw_distance(a, b, window=3)
+    assert constrained > unconstrained
+
+
+def test_empty_sequence_rejected():
+    with pytest.raises(ValueError):
+        dtw_distance([], [1.0])
+
+
+def test_2d_input_rejected():
+    with pytest.raises(ValueError):
+        dtw_distance(np.zeros((2, 2)), [1.0])
+
+
+@given(seqs, seqs)
+@settings(max_examples=60, deadline=None)
+def test_symmetry(a, b):
+    assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a), rel=1e-9,
+                                               abs=1e-9)
+
+
+@given(seqs)
+@settings(max_examples=60, deadline=None)
+def test_self_distance_zero(a):
+    assert dtw_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+@given(seqs, seqs)
+@settings(max_examples=60, deadline=None)
+def test_nonnegative(a, b):
+    assert dtw_distance(a, b) >= 0
+
+
+@given(seqs, seqs)
+@settings(max_examples=40, deadline=None)
+def test_bounded_below_by_endpoint_costs(a, b):
+    """Any alignment path includes (a0,b0) and (an,bm)."""
+    lower = abs(a[0] - b[0])
+    if len(a) > 1 or len(b) > 1:
+        lower += abs(a[-1] - b[-1])
+    assert dtw_distance(a, b) >= lower - 1e-9
+
+
+@given(seqs, seqs, st.integers(1, 10))
+@settings(max_examples=40, deadline=None)
+def test_wider_window_never_increases_distance(a, b, w):
+    """Relaxing the Sakoe-Chiba band can only improve the alignment."""
+    narrow = dtw_distance(a, b, window=w)
+    wide = dtw_distance(a, b, window=w + 5)
+    assert wide <= narrow + 1e-9
+
+
+def test_matches_bruteforce_dp_reference():
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        a = rng.normal(size=rng.integers(2, 12))
+        b = rng.normal(size=rng.integers(2, 12))
+        n, m = len(a), len(b)
+        ref = np.full((n + 1, m + 1), np.inf)
+        ref[0, 0] = 0.0
+        for i in range(1, n + 1):
+            for j in range(1, m + 1):
+                cost = abs(a[i - 1] - b[j - 1])
+                ref[i, j] = cost + min(ref[i - 1, j], ref[i, j - 1],
+                                       ref[i - 1, j - 1])
+        assert dtw_distance(a, b) == pytest.approx(ref[n, m], rel=1e-12)

@@ -1,0 +1,41 @@
+"""Unit tests for time units and conversions."""
+
+from repro.sim.clock import (
+    MSEC,
+    NSEC,
+    SEC,
+    USEC,
+    from_msec,
+    from_seconds,
+    from_usec,
+    seconds,
+)
+
+
+def test_unit_ratios():
+    assert USEC == 1000 * NSEC
+    assert MSEC == 1000 * USEC
+    assert SEC == 1000 * MSEC
+
+
+def test_seconds_round_trip():
+    assert seconds(SEC) == 1.0
+    assert from_seconds(1.0) == SEC
+    assert from_seconds(seconds(123_456_789)) == 123_456_789
+
+
+def test_from_seconds_rounds():
+    assert from_seconds(1e-9) == 1
+    assert from_seconds(1.5e-9) == 2
+
+
+def test_from_usec_and_msec():
+    assert from_usec(10) == 10 * USEC
+    assert from_msec(3) == 3 * MSEC
+    assert from_usec(2.5) == 2500
+
+
+def test_subsecond_precision_is_exact():
+    # Integer nanoseconds: no floating point drift across sums.
+    total = sum([from_usec(1)] * 1_000_000)
+    assert total == SEC

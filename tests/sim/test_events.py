@@ -1,0 +1,77 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+def make_queue():
+    return EventQueue()
+
+
+def test_pop_in_time_order():
+    q = make_queue()
+    fired = []
+    q.push(30, fired.append, (3,))
+    q.push(10, fired.append, (1,))
+    q.push(20, fired.append, (2,))
+    times = []
+    while True:
+        ev = q.pop()
+        if ev is None:
+            break
+        times.append(ev.time)
+    assert times == [10, 20, 30]
+
+
+def test_fifo_among_ties():
+    q = make_queue()
+    first = q.push(5, lambda: None, ())
+    second = q.push(5, lambda: None, ())
+    assert q.pop() is first
+    assert q.pop() is second
+
+
+def test_cancelled_events_are_skipped():
+    q = make_queue()
+    ev = q.push(1, lambda: None, ())
+    keep = q.push(2, lambda: None, ())
+    ev.cancel()
+    assert q.pop() is keep
+    assert q.pop() is None
+
+
+def test_peek_time_prunes_cancelled():
+    q = make_queue()
+    ev = q.push(1, lambda: None, ())
+    q.push(7, lambda: None, ())
+    ev.cancel()
+    assert q.peek_time() == 7
+
+
+def test_len_counts_pushed_events():
+    q = make_queue()
+    q.push(1, lambda: None, ())
+    q.push(2, lambda: None, ())
+    assert len(q) == 2
+
+
+def test_cancel_is_idempotent():
+    q = make_queue()
+    ev = q.push(1, lambda: None, ())
+    ev.cancel()
+    ev.cancel()
+    assert q.pop() is None
+
+
+def test_event_ordering_operator():
+    a = Event(1, 0, None, ())
+    b = Event(1, 1, None, ())
+    c = Event(2, 0, None, ())
+    assert a < b < c
+
+
+def test_empty_queue_pop_and_peek():
+    q = make_queue()
+    assert q.pop() is None
+    assert q.peek_time() is None

@@ -1,0 +1,169 @@
+"""Unit + property tests for StepTrace and EventTrace.
+
+StepTrace carries the power rails, so its integration/resampling must be
+exact; hypothesis drives random change-point sequences through it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import EventTrace, StepTrace
+
+
+def test_initial_value_holds_until_first_change():
+    tr = StepTrace(2.5)
+    assert tr.value_at(0) == 2.5
+    assert tr.value_at(10**9) == 2.5
+
+
+def test_value_at_is_right_continuous():
+    tr = StepTrace(0.0)
+    tr.set(100, 5.0)
+    assert tr.value_at(99) == 0.0
+    assert tr.value_at(100) == 5.0
+    assert tr.value_at(101) == 5.0
+
+
+def test_set_same_time_overwrites():
+    tr = StepTrace(0.0)
+    tr.set(100, 1.0)
+    tr.set(100, 2.0)
+    assert tr.value_at(100) == 2.0
+    assert len(tr) == 2
+
+
+def test_set_in_past_raises():
+    tr = StepTrace(0.0)
+    tr.set(100, 1.0)
+    with pytest.raises(ValueError):
+        tr.set(50, 2.0)
+
+
+def test_add_adjusts_relative_to_current():
+    tr = StepTrace(1.0)
+    tr.add(10, 2.0)
+    tr.add(20, -0.5)
+    assert tr.value_at(15) == 3.0
+    assert tr.value_at(25) == 2.5
+
+
+def test_integrate_simple_rectangle():
+    tr = StepTrace(0.0)
+    tr.set(100, 2.0)
+    tr.set(200, 0.0)
+    assert tr.integrate(0, 300) == pytest.approx(2.0 * 100)
+
+
+def test_integrate_subinterval():
+    tr = StepTrace(1.0)
+    tr.set(100, 3.0)
+    assert tr.integrate(50, 150) == pytest.approx(1.0 * 50 + 3.0 * 50)
+
+
+def test_segments_cover_interval_exactly():
+    tr = StepTrace(1.0)
+    tr.set(10, 2.0)
+    tr.set(30, 3.0)
+    segs = list(tr.segments(5, 40))
+    assert segs[0][0] == 5
+    assert segs[-1][1] == 40
+    for (a, b, _v), (c, _d, _w) in zip(segs, segs[1:]):
+        assert b == c
+
+
+def test_resample_matches_value_at():
+    tr = StepTrace(0.5)
+    tr.set(1000, 1.5)
+    tr.set(2500, 0.25)
+    times, values = tr.resample(0, 4000, 500)
+    for t, v in zip(times, values):
+        assert v == tr.value_at(int(t))
+
+
+def test_resample_rejects_bad_dt():
+    tr = StepTrace(0.0)
+    with pytest.raises(ValueError):
+        tr.resample(0, 100, 0)
+
+
+def test_mean_weighted_by_time():
+    tr = StepTrace(0.0)
+    tr.set(100, 4.0)
+    assert tr.mean(0, 200) == pytest.approx(2.0)
+
+
+def test_mean_empty_interval_raises():
+    tr = StepTrace(0.0)
+    with pytest.raises(ValueError):
+        tr.mean(5, 5)
+
+
+@st.composite
+def step_traces(draw):
+    """A StepTrace with random change points, plus its raw (t, v) list."""
+    initial = draw(st.floats(0, 10, allow_nan=False))
+    n = draw(st.integers(0, 20))
+    deltas = draw(st.lists(st.integers(1, 1000), min_size=n, max_size=n))
+    values = draw(st.lists(st.floats(0, 10, allow_nan=False, allow_infinity=False),
+                           min_size=n, max_size=n))
+    tr = StepTrace(initial)
+    t = 0
+    for dt, v in zip(deltas, values):
+        t += dt
+        tr.set(t, v)
+    return tr, t
+
+
+@given(step_traces(), st.integers(0, 500), st.integers(1, 5000))
+@settings(max_examples=80, deadline=None)
+def test_integral_additivity(trace_and_end, t0, span):
+    """integrate(a,c) == integrate(a,b) + integrate(b,c) for any split."""
+    tr, _end = trace_and_end
+    a, c = t0, t0 + span
+    b = a + span // 2
+    whole = tr.integrate(a, c)
+    parts = tr.integrate(a, b) + tr.integrate(b, c)
+    assert whole == pytest.approx(parts, rel=1e-9, abs=1e-9)
+
+
+@given(step_traces(), st.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_resample_consistency_with_integral_bounds(trace_and_end, dt):
+    """The sampled mean is bounded by the signal's min/max over the window."""
+    tr, end = trace_and_end
+    end = max(end, dt)
+    _times, values = tr.resample(0, end + dt, dt)
+    lo = min(tr._values)
+    hi = max(tr._values)
+    assert values.min() >= lo - 1e-12
+    assert values.max() <= hi + 1e-12
+
+
+@given(step_traces())
+@settings(max_examples=60, deadline=None)
+def test_integral_of_nonnegative_signal_is_monotone(trace_and_end):
+    tr, end = trace_and_end
+    end = end + 100
+    assert tr.integrate(0, end // 2) <= tr.integrate(0, end) + 1e-9
+
+
+def test_event_trace_filters_by_kind_window_and_payload():
+    log = EventTrace("t")
+    log.log(10, "dispatch", app=1)
+    log.log(20, "dispatch", app=2)
+    log.log(30, "complete", app=1)
+    assert len(log.filter(kind="dispatch")) == 2
+    assert len(log.filter(kind="dispatch", app=1)) == 1
+    assert len(log.filter(t0=15)) == 2
+    assert len(log.filter(t0=15, t1=25)) == 1
+    assert log.times(kind="complete") == [30]
+
+
+def test_event_trace_iteration_and_len():
+    log = EventTrace()
+    log.log(1, "a")
+    log.log(2, "b")
+    assert len(log) == 2
+    assert [k for _t, k, _p in log] == ["a", "b"]
