@@ -5,7 +5,7 @@ from repro.apps.base import App
 from repro.analysis.report import format_table
 from repro.core.activations import UserLevelCoscheduler
 from repro.hw.platform import Platform
-from repro.kernel.actions import Compute, Sleep, SubmitAccel
+from repro.kernel.actions import Compute, Sleep
 from repro.kernel.kernel import Kernel
 from repro.sim.clock import MSEC, SEC, from_msec, from_usec
 from repro.userspace.render_service import RenderService

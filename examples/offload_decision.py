@@ -14,7 +14,7 @@ Run:  python examples/offload_decision.py
 from repro import Kernel, Platform
 from repro.apps.base import App
 from repro.kernel.actions import Compute, Sleep, SubmitAccel
-from repro.sim import MSEC, SEC, from_msec
+from repro.sim import SEC, from_msec
 
 #: problem size -> (CPU cycles, DSP kernel cycles incl. marshalling)
 WORKLOADS = {

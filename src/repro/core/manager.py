@@ -107,6 +107,25 @@ class PsboxManager:
                 self.kernel.lte_sched.set_psbox(None)
             del self.occupants[comp]
 
+    # -- kernel-side readout -------------------------------------------------------
+
+    def read_power(self, psbox, t0, t1):
+        """Mean metered power of ``psbox`` in watts over [t0, t1).
+
+        Kernel-side (privileged) readout for daemons like ``repro.powercap``:
+        unlike :meth:`PowerSandbox.read` it does not require the sandbox to
+        be entered, and it shields callers from ``core/vmeter.py`` internals.
+        """
+        if psbox not in self.sandboxes:
+            raise ValueError(
+                "psbox of app {} is not registered with this kernel".format(
+                    psbox.app.id
+                )
+            )
+        if t1 <= t0:
+            return 0.0
+        return psbox.vmeter.energy(t0, t1) / ((t1 - t0) / 1e9)
+
     # -- balloon window plumbing ---------------------------------------------------
 
     def _psbox_of(self, app, component):

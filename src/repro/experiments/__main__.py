@@ -129,8 +129,33 @@ def run_sidechannel():
               result.with_psbox.success_rate))
 
 
+def run_powercap():
+    from repro.experiments.powercap_exp import run_powercap as _run
+
+    result = _run()
+    print(format_table(
+        ["quantity", "value"],
+        [["uncapped aggregate", "{:.2f} W".format(result.uncapped_w)],
+         ["platform cap (70%)", "{:.2f} W".format(result.cap_w)],
+         ["steady aggregate", "{:.2f} W".format(result.steady_w)],
+         ["cap compliance", "{:+.1f}%".format(result.compliance_pct)],
+         ["aggregate after B idles", "{:.2f} W".format(result.relaxed_w)],
+         ["tenant A grant gain", "{:+.2f} W".format(result.tenant_a_gain_w)],
+         ["throttle/relax actions", str(result.throttle_actions)]],
+        title="Power capping — hierarchical budget enforcement",
+    ))
+    print(format_table(
+        ["leaf", "grant contended", "grant after B idles"],
+        [[leaf, "{:.2f} W".format(result.grants_contended[leaf]),
+          "{:.2f} W".format(result.grants_relaxed[leaf])]
+         for leaf in sorted(result.grants_contended)],
+        title="Per-leaf grants (slack redistribution)",
+    ))
+
+
 EXPERIMENTS = {
     "fig3": run_fig3,
+    "powercap": run_powercap,
     "fig6": run_fig6,
     "fig7": run_fig7,
     "fig8": run_fig8,

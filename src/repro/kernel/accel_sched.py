@@ -23,6 +23,7 @@ The psbox extension follows §4.2's five phases exactly:
 from collections import deque
 
 from repro.hw.accel import Command
+from repro.kernel.admission import AdmissionGate
 from repro.sim.trace import EventTrace
 
 NORMAL = "normal"
@@ -59,6 +60,7 @@ class AccelScheduler:
         self.queues = {}
         self.state = NORMAL
         self.psbox_app = None
+        self.admission = AdmissionGate(self.sim, self._pump)
         self.log = EventTrace(name + ".sched")
         self.balloon_in_hooks = []   # fn(app, t)
         self.balloon_out_hooks = []  # fn(app, t)
@@ -144,13 +146,20 @@ class AccelScheduler:
         return min(values) if values else None
 
     def _pick(self):
-        """The pending queue with the minimal virtual runtime."""
+        """The pending, admitted queue with the minimal virtual runtime."""
         best = None
+        wake = None
         for q in self.queues.values():
             if not q.pending:
                 continue
+            if self.admission.gated(q.app.id):
+                edge = self.admission.next_on_edge(q.app.id)
+                wake = edge if wake is None else min(wake, edge)
+                continue
             if best is None or q.vruntime < best.vruntime:
                 best = q
+        if wake is not None:
+            self.admission.arm(wake)
         return best
 
     def _pump(self):
@@ -203,12 +212,16 @@ class AccelScheduler:
         idle = not q.pending and self.engine.inflight_count == 0
         overdrawn = (min_other is not None
                      and q.vruntime > min_other + self.yield_quantum)
+        gated = self.admission.gated(self.psbox_app.id)
+        if gated:
+            self.admission.arm(self.admission.next_on_edge(self.psbox_app.id))
         # The balloon closes when others deserve the device *or* when the
         # psbox app stops using it — mirroring the CPU balloon, which ends
         # when the app has no runnable member.  Keeping windows tied to
         # actual device use makes an app's observation structure identical
-        # whether it runs alone or co-runs.
-        should_yield = not flushing and (overdrawn or idle)
+        # whether it runs alone or co-runs.  An admission gate's off-phase
+        # duty-cycles the balloon the same way (powercap actuator).
+        should_yield = not flushing and (overdrawn or idle or gated)
         if should_yield:
             self.state = DRAIN_PSBOX
             self.log.log(self.sim.now, "drain_psbox", app=self.psbox_app.id)

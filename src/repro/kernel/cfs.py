@@ -132,6 +132,10 @@ class CoreScheduler:
             return self.forced_entity
         best = None
         for entity in self.rq:
+            if entity.group.throttled:
+                # A bandwidth throttle's off-phase: the app keeps its
+                # runqueue position but is never picked (powercap actuator).
+                continue
             if entity.group.sandboxed and not self.smp.balloon_admissible(entity):
                 # Sandboxed apps only ever run inside their balloon, and a
                 # balloon preempts every core — so it must be justified by
@@ -242,7 +246,7 @@ class CoreScheduler:
             return
         best = None
         for entity in self.rq:
-            if entity is self.current:
+            if entity is self.current or entity.group.throttled:
                 continue
             if best is None or entity.vruntime < best.vruntime:
                 best = entity

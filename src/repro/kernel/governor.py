@@ -52,6 +52,7 @@ class OndemandGovernor:
         self.down_threshold = down_threshold
         self.contexts = {WORLD: _ContextState(initial_index)}
         self.active = WORLD
+        self.clamps = {}
         self._last_settle = sim.now
         domain.set_opp(initial_index)
         self._tick_event = sim.call_later(tick, self._on_tick)
@@ -71,14 +72,52 @@ class OndemandGovernor:
         self._settle()
         self.contexts[self.active].index = self.domain.index
         state = self.context(key)
+        if not 0 <= state.index <= self.domain.max_index:
+            raise ValueError(
+                "context {!r} restores OPP index {}, outside the domain's "
+                "OPP table 0..{}".format(key, state.index,
+                                         self.domain.max_index)
+            )
         self.active = key
-        self.domain.set_opp(state.index)
+        self.domain.set_opp(self._clamped(key, state.index))
+        state.index = self.domain.index
+
+    # -- OPP clamping (powercap actuator hook) -----------------------------------
+
+    def set_clamp(self, key, max_index):
+        """Cap context ``key``'s OPP choices at ``max_index``.
+
+        The clamp constrains the governor's decisions — it does not shrink
+        the domain's OPP table, so saved context indices always stay valid.
+        Takes effect immediately when ``key`` is the active context.
+        """
+        if not 0 <= max_index <= self.domain.max_index:
+            raise ValueError(
+                "clamp index {} outside the domain's OPP table 0..{}".format(
+                    max_index, self.domain.max_index
+                )
+            )
+        self.clamps[key] = max_index
+        state = self.context(key)
+        if state.index > max_index:
+            state.index = max_index
+            if self.active == key:
+                self.domain.set_opp(max_index)
+
+    def clear_clamp(self, key):
+        """Remove ``key``'s OPP clamp (no-op when none is set)."""
+        self.clamps.pop(key, None)
+
+    def _clamped(self, key, index):
+        limit = self.clamps.get(key)
+        return index if limit is None else min(index, limit)
 
     def drop_context(self, key):
         """Forget a context (psbox destroyed)."""
         if key == WORLD:
             raise ValueError("cannot drop the world context")
         self.contexts.pop(key, None)
+        self.clamps.pop(key, None)
         if self.active == key:
             self.active = WORLD
             self.domain.set_opp(self.contexts[WORLD].index)
@@ -106,7 +145,7 @@ class OndemandGovernor:
         state.busy = 0.0
         state.wall = 0
         if utilization > self.up_threshold:
-            self.domain.set_opp(self.domain.max_index)
+            self.domain.set_opp(self._clamped(self.active, self.domain.max_index))
         elif utilization < self.down_threshold:
             self.domain.step(-1)
         state.index = self.domain.index

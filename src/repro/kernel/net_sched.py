@@ -18,6 +18,7 @@ buffers across balloon phases (§4.2 "Wireless interfaces"):
 from collections import deque
 
 from repro.hw.nic import Packet
+from repro.kernel.admission import AdmissionGate
 from repro.sim.clock import SEC
 from repro.sim.trace import EventTrace
 
@@ -54,6 +55,7 @@ class PacketScheduler:
         self.buffers = {}
         self.state = NORMAL
         self.psbox_app = None
+        self.admission = AdmissionGate(self.sim, self._pump)
         self.log = EventTrace("net.sched")
         self.balloon_in_hooks = []
         self.balloon_out_hooks = []
@@ -135,11 +137,18 @@ class PacketScheduler:
 
     def _pick(self):
         best = None
+        wake = None
         for b in self.buffers.values():
             if not b.pending:
                 continue
+            if self.admission.gated(b.app.id):
+                edge = self.admission.next_on_edge(b.app.id)
+                wake = edge if wake is None else min(wake, edge)
+                continue
             if best is None or b.credit < best.credit:
                 best = b
+        if wake is not None:
+            self.admission.arm(wake)
         return best
 
     def _nic_has_room(self):
@@ -184,9 +193,13 @@ class PacketScheduler:
         idle = not buffer.pending and self.nic.queued_count == 0
         overdrawn = (min_other is not None
                      and buffer.credit > min_other + self.yield_quantum)
-        # Close the balloon when others deserve the NIC or when the psbox
-        # app has nothing on the air (see accel_sched for the rationale).
-        should_yield = not flushing and (overdrawn or idle)
+        gated = self.admission.gated(self.psbox_app.id)
+        if gated:
+            self.admission.arm(self.admission.next_on_edge(self.psbox_app.id))
+        # Close the balloon when others deserve the NIC, when the psbox app
+        # has nothing on the air, or during an admission gate's off-phase
+        # (see accel_sched for the rationale).
+        should_yield = not flushing and (overdrawn or idle or gated)
         if should_yield:
             self.state = DRAIN_PSBOX
             self.log.log(self.sim.now, "drain_psbox", app=self.psbox_app.id)

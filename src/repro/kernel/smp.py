@@ -8,7 +8,7 @@ redistribution across the psbox's per-core entities.
 """
 
 from repro.kernel.cfs import CoreScheduler, GroupEntity
-from repro.sim.clock import from_usec
+from repro.sim.clock import from_msec, from_usec
 from repro.sim.trace import EventTrace
 
 
@@ -19,6 +19,7 @@ class AppGroup:
         self.app = app
         self.entities = [GroupEntity(self, core_id) for core_id in range(n_cores)]
         self.sandboxed = False   # True while the app's CPU psbox is entered
+        self.throttled = False   # True during a bandwidth throttle's off-phase
 
     @property
     def weight(self):
@@ -27,6 +28,21 @@ class AppGroup:
     def active_member_count(self):
         """Tasks READY or RUNNING across all cores."""
         return sum(len(entity.members) for entity in self.entities)
+
+
+class _CpuThrottle:
+    """One app's duty-cycled CPU bandwidth limit (powercap actuator)."""
+
+    __slots__ = ("fraction", "period", "event")
+
+    def __init__(self, fraction, period):
+        self.fraction = fraction
+        self.period = period
+        self.event = None
+
+    @property
+    def on_ns(self):
+        return max(1, int(self.fraction * self.period))
 
 
 class _Coschedule:
@@ -51,6 +67,7 @@ class SmpScheduler:
         self.loans_enabled = loans_enabled
         self.cores = [CoreScheduler(self, core) for core in cluster.cores]
         self.groups = {}             # app id -> AppGroup
+        self.throttles = {}          # app id -> _CpuThrottle
         self.active_cosched = None   # at most one spatial balloon at a time
         self.log = EventTrace("smp")
         # Callbacks the psbox manager hooks: fn(app, t).
@@ -208,7 +225,8 @@ class SmpScheduler:
         cosched = self.active_cosched
         candidates = [
             task for task in waiting
-            if cosched is None or self.group_for(task.app) is not cosched.group
+            if (cosched is None or self.group_for(task.app) is not cosched.group)
+            and not self.group_for(task.app).throttled
         ]
         if not candidates:
             return
@@ -398,6 +416,68 @@ class SmpScheduler:
         for sched in self.cores:
             entity = self._entity_on(group, sched.core.id)
             entity.vruntime += mean + surcharge / entity.weight
+
+    # -- bandwidth throttling (powercap actuator hook) ---------------------------------
+
+    def set_cpu_bandwidth(self, app, fraction, period=from_msec(10)):
+        """Duty-cycle ``app``'s CPU access: runnable for ``fraction`` of
+        every ``period``, throttled (never picked, balloons torn down) for
+        the rest.  ``fraction >= 1`` removes the limit."""
+        if fraction <= 0.0:
+            raise ValueError("bandwidth fraction must be positive")
+        if period <= 0:
+            raise ValueError("bandwidth period must be positive")
+        if fraction >= 1.0:
+            self.clear_cpu_bandwidth(app)
+            return
+        throttle = self.throttles.get(app.id)
+        if throttle is None:
+            throttle = _CpuThrottle(fraction, int(period))
+            self.throttles[app.id] = throttle
+            # Start with a fresh runnable window so a newly throttled app
+            # is never cut off mid-decision.
+            self._throttle_on_edge(self.group_for(app), throttle)
+        else:
+            throttle.fraction = fraction
+            throttle.period = int(period)
+
+    def clear_cpu_bandwidth(self, app):
+        """Remove ``app``'s bandwidth limit (no-op when none is set)."""
+        throttle = self.throttles.pop(app.id, None)
+        if throttle is None:
+            return
+        if throttle.event is not None:
+            throttle.event.cancel()
+            throttle.event = None
+        group = self.group_for(app)
+        if group.throttled:
+            group.throttled = False
+            for sched in self.cores:
+                sched.resched_soon()
+
+    def _throttle_on_edge(self, group, throttle):
+        if self.throttles.get(group.app.id) is not throttle:
+            return
+        group.throttled = False
+        throttle.event = self.sim.call_later(
+            throttle.on_ns, self._throttle_off_edge, group, throttle
+        )
+        for sched in self.cores:
+            sched.resched_soon()
+
+    def _throttle_off_edge(self, group, throttle):
+        if self.throttles.get(group.app.id) is not throttle:
+            return
+        group.throttled = True
+        off_ns = max(1, throttle.period - throttle.on_ns)
+        throttle.event = self.sim.call_later(
+            off_ns, self._throttle_on_edge, group, throttle
+        )
+        cosched = self.active_cosched
+        if cosched is not None and cosched.group is group:
+            self.end_coschedule("bandwidth throttled")
+        for sched in self.cores:
+            sched.resched_soon()
 
     # -- psbox enter/leave -------------------------------------------------------------
 

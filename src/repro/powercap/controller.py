@@ -1,0 +1,216 @@
+"""The power-cap daemon: a periodic closed-loop controller.
+
+Every tick (a ``sim.Process``), the daemon reads each bound app's metered
+power through :meth:`PsboxManager.read_power`, estimates demand, asks the
+budget tree for grants, and drives each leaf's throttle level with a PI
+controller:
+
+* the proportional term reacts to the current overshoot;
+* the integrator accumulates persistent overshoot (and unwinds on
+  undershoot), which is what holds a steady throttle depth at zero error;
+* hysteresis — a quantized level plus an error deadband — keeps actuators
+  from flapping between adjacent levels on metering ripple.
+
+Unmanaged draw (idle floors of unbound components, world activity) is
+charged against the root cap each tick, so the *aggregate* rail power is
+regulated to the cap, not just the sum of the managed apps.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.manager import PsboxManager
+from repro.powercap.telemetry import TelemetryRing
+from repro.sim.clock import from_msec
+
+
+@dataclass
+class LeafBinding:
+    """Wires one budget-tree leaf to an app's psbox and its actuators."""
+
+    node: str
+    psbox: object
+    actuators: tuple = ()
+
+    def __post_init__(self):
+        self.actuators = tuple(self.actuators)
+
+
+@dataclass
+class _LeafState:
+    level: float = 0.0       # throttle level currently applied [0, 1]
+    integral: float = 0.0    # PI integrator (already in level units)
+    measured_w: float = 0.0
+    grant_w: float = 0.0
+
+
+@dataclass
+class ControllerConfig:
+    """Gains and shaping knobs of the PI loop."""
+
+    period: int = from_msec(50)
+    kp: float = 0.8              # proportional gain on normalized error
+    ki: float = 4.0              # integral gain, 1/seconds
+    ki_root: float = 1.0         # aggregate trim integral gain, 1/seconds
+    levels: int = 16             # throttle quantization steps (hysteresis)
+    deadband_w: float = 0.02     # ignore |error| below this when throttling up
+    demand_headroom: float = 0.25  # demand estimate margin above measured
+    throttle_strength: float = 0.8  # assumed power cut at full throttle
+    floor_w: float = 0.05        # normalization floor for tiny grants
+    extras: dict = field(default_factory=dict)
+
+
+class PowerCapController:
+    """Hierarchical multi-tenant power-budget enforcement daemon."""
+
+    def __init__(self, kernel, tree, bindings, config=None, telemetry=None):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.tree = tree
+        self.bindings = list(bindings)
+        self.config = config or ControllerConfig()
+        self.telemetry = telemetry or TelemetryRing()
+        self.manager = PsboxManager.for_kernel(kernel)
+        for binding in self.bindings:
+            leaf = tree.node(binding.node)
+            if not leaf.is_leaf:
+                raise ValueError(
+                    "binding target {!r} is not a leaf".format(binding.node)
+                )
+        self._states = {b.node: _LeafState() for b in self.bindings}
+        self._trim_w = 0.0       # outer integrator on the aggregate error
+        self._proc = None
+        self.ticks = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def running(self):
+        return self._proc is not None and not self._proc.finished
+
+    def start(self):
+        """Start the periodic control loop; returns self."""
+        if self._proc is None or self._proc.finished:
+            self._proc = self.sim.spawn(self._run(), name="powercapd")
+        return self
+
+    def stop(self):
+        """Stop the loop and release every actuator (no residue)."""
+        if self._proc is not None and not self._proc.finished:
+            self._proc.kill()
+        self._proc = None
+        for binding in self.bindings:
+            for actuator in binding.actuators:
+                actuator.release()
+        for state in self._states.values():
+            state.level = 0.0
+            state.integral = 0.0
+        self._trim_w = 0.0
+
+    def _run(self):
+        last = self.sim.now
+        while True:
+            yield self.config.period
+            now = self.sim.now
+            self._tick(last, now)
+            last = now
+
+    # -- readout -----------------------------------------------------------------
+
+    def aggregate_power(self, t0, t1):
+        """True platform draw: mean of every rail over [t0, t1)."""
+        if t1 <= t0:
+            return 0.0
+        return sum(
+            rail.mean_power(t0, t1)
+            for rail in self.kernel.platform.rails.values()
+        )
+
+    def leaf_state(self, node):
+        """The controller's last decision state for one leaf (read-only)."""
+        state = self._states[node]
+        return {
+            "level": state.level,
+            "measured_w": state.measured_w,
+            "grant_w": state.grant_w,
+        }
+
+    # -- the control law -----------------------------------------------------------
+
+    def _tick(self, t0, t1):
+        if t1 <= t0:
+            return
+        self.ticks += 1
+        cfg = self.config
+        dt_s = (t1 - t0) / 1e9
+
+        measured = {}
+        demands = {}
+        for binding in self.bindings:
+            watts = self.manager.read_power(binding.psbox, t0, t1)
+            state = self._states[binding.node]
+            measured[binding.node] = watts
+            # Demand estimate: what the app would draw unthrottled.  The
+            # measured power of a throttled app understates it by roughly
+            # the actuators' attenuation, so invert that model (a leaf at
+            # full throttle keeps ~(1 - throttle_strength) of its draw) and
+            # add a fixed headroom — grants then track above measurement
+            # and release cleanly when the tree has slack.
+            attainable = max(1.0 - cfg.throttle_strength * state.level, 0.1)
+            demands[binding.node] = (
+                watts * (1.0 + cfg.demand_headroom) / attainable
+            )
+
+        aggregate = self.aggregate_power(t0, t1)
+        root = self.tree.root
+        if root.cap_w is not None:
+            # Whatever the managed apps do not account for still drains the
+            # cap: idle floors of unbound components, unmanaged world
+            # activity, and double-counted idle fill.
+            overhead = max(0.0, aggregate - sum(measured.values()))
+            # Outer loop: the per-leaf model errors (demand estimates,
+            # quantized levels) leave a residual bias between the true
+            # aggregate and the cap; a slow integrator trims it out.  It
+            # saturates harmlessly when the apps simply cannot draw more.
+            self._trim_w = _clip(
+                self._trim_w + cfg.ki_root * (root.cap_w - aggregate) * dt_s,
+                -0.5 * root.cap_w, 0.5 * root.cap_w,
+            )
+            grants = self.tree.allocate(
+                demands,
+                available=max(0.0, root.cap_w - overhead + self._trim_w),
+            )
+        else:
+            grants = self.tree.allocate(demands)
+
+        for binding in self.bindings:
+            state = self._states[binding.node]
+            grant = grants[binding.node]
+            error = measured[binding.node] - grant
+            reference = max(grant, cfg.floor_w)
+            normalized = error / reference
+            state.integral = _clip(
+                state.integral + cfg.ki * normalized * dt_s, 0.0, 1.0
+            )
+            raw = _clip(cfg.kp * normalized + state.integral, 0.0, 1.0)
+            level = round(raw * cfg.levels) / cfg.levels
+            action = "hold"
+            if level != state.level and (
+                level < state.level or abs(error) > cfg.deadband_w
+            ):
+                for actuator in binding.actuators:
+                    actuator.apply(level)
+                action = "throttle" if level > state.level else "relax"
+                state.level = level
+            state.measured_w = measured[binding.node]
+            state.grant_w = grant
+            self.telemetry.record(
+                t1, binding.node, measured[binding.node], grant, action,
+                state.level,
+            )
+        self.telemetry.record(
+            t1, root.name, aggregate, root.cap_w, "aggregate", 0.0
+        )
+
+
+def _clip(value, lo, hi):
+    return lo if value < lo else hi if value > hi else value

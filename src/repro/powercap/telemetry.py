@@ -1,0 +1,72 @@
+"""Controller decision telemetry: a fixed-size ring, exportable as JSON.
+
+The daemon records one entry per node per tick.  A bounded ring keeps the
+daemon's memory constant no matter how long the simulation runs; analysis
+code exports the retained window with :meth:`TelemetryRing.to_json`.
+"""
+
+import json
+
+
+class TelemetryRing:
+    """Fixed-capacity ring buffer of controller decisions."""
+
+    FIELDS = ("t", "node", "measured_w", "budget_w", "action", "level")
+
+    def __init__(self, capacity=4096):
+        if capacity < 1:
+            raise ValueError("telemetry ring needs capacity >= 1")
+        self.capacity = capacity
+        self.dropped = 0
+        self._slots = [None] * capacity
+        self._next = 0
+        self._count = 0
+
+    def __len__(self):
+        return self._count
+
+    def record(self, t, node, measured_w, budget_w, action, level):
+        """Append one decision; overwrites the oldest entry when full."""
+        entry = {
+            "t": int(t),
+            "node": node,
+            "measured_w": round(float(measured_w), 6),
+            "budget_w": None if budget_w is None else round(float(budget_w), 6),
+            "action": action,
+            "level": round(float(level), 6),
+        }
+        if self._count == self.capacity:
+            self.dropped += 1
+        self._slots[self._next] = entry
+        self._next = (self._next + 1) % self.capacity
+        self._count = min(self._count + 1, self.capacity)
+        return entry
+
+    def records(self, node=None, t0=None, t1=None):
+        """Retained entries, oldest first, optionally filtered."""
+        if self._count < self.capacity:
+            ordered = self._slots[: self._count]
+        else:
+            ordered = self._slots[self._next:] + self._slots[: self._next]
+        return [
+            entry for entry in ordered
+            if (node is None or entry["node"] == node)
+            and (t0 is None or entry["t"] >= t0)
+            and (t1 is None or entry["t"] < t1)
+        ]
+
+    def latest(self, node=None):
+        """The newest retained entry (for ``node``, if given), or None."""
+        for entry in reversed(self.records(node=node)):
+            return entry
+        return None
+
+    def to_json(self, indent=None):
+        """The retained window as a JSON array string."""
+        return json.dumps(self.records(), indent=indent, sort_keys=True)
+
+    def clear(self):
+        self._slots = [None] * self.capacity
+        self._next = 0
+        self._count = 0
+        self.dropped = 0

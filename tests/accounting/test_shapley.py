@@ -7,7 +7,7 @@ from repro.apps.base import App
 from repro.hw.platform import Platform
 from repro.kernel.actions import Sleep, SubmitAccel
 from repro.kernel.kernel import Kernel
-from repro.sim.clock import MSEC, SEC, from_msec
+from repro.sim.clock import SEC, from_msec
 
 
 def boot(seed=15):

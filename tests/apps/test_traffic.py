@@ -5,7 +5,7 @@ import pytest
 from repro.apps.traffic import inbound_stream
 from repro.hw.platform import Platform
 from repro.kernel.kernel import Kernel
-from repro.sim.clock import MSEC, SEC
+from repro.sim.clock import SEC
 
 
 def test_counted_stream_delivers_exactly_n():

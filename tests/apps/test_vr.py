@@ -1,11 +1,10 @@
 """Tests for the VR use-case app (§6.4)."""
 
-import pytest
 
 from repro.apps.vr import FIDELITY_LEVELS, VrApp
 from repro.hw.platform import Platform
 from repro.kernel.kernel import Kernel
-from repro.sim.clock import SEC, from_msec
+from repro.sim.clock import SEC
 
 
 def boot(seed=17):

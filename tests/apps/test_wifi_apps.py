@@ -1,6 +1,5 @@
 """Tests for WiFi benchmark apps."""
 
-import pytest
 
 from repro.apps.wifi_apps import scp, wget, wifi_browser
 from repro.hw.platform import Platform

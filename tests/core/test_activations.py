@@ -1,6 +1,5 @@
 """Tests for activation-based (user-level) coscheduling (§7 alternative)."""
 
-import pytest
 
 from repro.apps.base import App
 from repro.core.activations import UserLevelCoscheduler

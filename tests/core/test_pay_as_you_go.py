@@ -11,7 +11,7 @@ from repro.apps.base import App
 from repro.hw.platform import Platform
 from repro.kernel.actions import Compute, Sleep
 from repro.kernel.kernel import Kernel
-from repro.sim.clock import MSEC, SEC, from_msec, from_usec
+from repro.sim.clock import SEC, from_msec, from_usec
 
 
 def spinner(kernel, name):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.psbox import PowerSandbox, PsboxError
-from repro.sim.clock import MSEC, SEC
+from repro.sim.clock import MSEC
 
 from tests.core.conftest import cpu_spinner
 

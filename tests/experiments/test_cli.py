@@ -25,7 +25,7 @@ def test_unknown_experiment_errors():
 def test_registry_covers_every_eval_section():
     assert set(EXPERIMENTS) == {
         "fig3", "fig6", "fig7", "fig8", "fig9",
-        "sec62", "sec63", "sidechannel",
+        "sec62", "sec63", "sidechannel", "powercap",
     }
 
 

@@ -7,7 +7,7 @@ from repro.experiments.fig3 import (
     run_fig3b_requests,
     run_fig3c_lingering,
 )
-from repro.sim.clock import MSEC, SEC
+from repro.sim.clock import MSEC
 
 
 @pytest.fixture(scope="module")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.fig8 import FIG8_SCENARIOS, run_fig8
+from repro.experiments.fig8 import run_fig8
 from repro.experiments.sec63 import run_sec63_robustness
 
 

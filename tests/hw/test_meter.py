@@ -1,6 +1,5 @@
 """Unit tests for the in-situ power meter."""
 
-import numpy as np
 import pytest
 
 from repro.hw.meter import PowerMeter

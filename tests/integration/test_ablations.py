@@ -1,6 +1,5 @@
 """Ablation tests: each psbox mechanism matters (DESIGN.md section 6)."""
 
-import pytest
 
 from repro.apps.base import App
 from repro.hw.platform import Platform

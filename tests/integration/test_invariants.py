@@ -14,7 +14,7 @@ from repro.apps.base import App
 from repro.hw.platform import Platform
 from repro.kernel.actions import Compute, Sleep
 from repro.kernel.kernel import Kernel
-from repro.sim.clock import MSEC, SEC, from_usec
+from repro.sim.clock import MSEC, from_usec
 
 workload = st.lists(
     st.tuples(

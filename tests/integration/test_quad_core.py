@@ -5,13 +5,12 @@ The paper's CPU prototype is a dual-core A15; nothing in the design is
 forces all four cores, loss stays confined, observations stay consistent.
 """
 
-import pytest
 
 from repro.apps.base import App
 from repro.hw.platform import Platform
 from repro.kernel.actions import Compute, Sleep
 from repro.kernel.kernel import Kernel
-from repro.sim.clock import MSEC, SEC, from_usec
+from repro.sim.clock import SEC, from_usec
 
 
 def boot(seed=71):

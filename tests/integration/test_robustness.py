@@ -1,10 +1,8 @@
 """Stress and failure-injection tests across the stack."""
 
-import numpy as np
 import pytest
 
 from repro.apps.base import App
-from repro.hw.meter import PowerMeter
 from repro.hw.platform import Platform
 from repro.kernel.actions import Compute, SendPacket, Sleep, SubmitAccel
 from repro.kernel.kernel import Kernel

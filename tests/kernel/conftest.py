@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.base import App
 from repro.hw.platform import Platform
-from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.kernel import Kernel
 
 
 @pytest.fixture

@@ -92,7 +92,6 @@ def test_balloon_window_hooks_fire(booted):
 def test_no_foreign_inflight_during_window(booted):
     """The central balloon invariant, checked against the hardware log."""
     platform, kernel = booted
-    import itertools
     boxed = make_app(kernel, "boxed")
     other = make_app(kernel, "other")
     windows = []

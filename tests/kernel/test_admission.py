@@ -1,0 +1,110 @@
+"""Admission gate (duty-cycled balloon admission) tests."""
+
+import pytest
+
+from repro.apps.wifi_apps import scp
+from repro.hw.platform import Platform
+from repro.kernel.admission import AdmissionGate
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import SEC, from_msec
+from repro.sim.engine import Simulator
+
+
+def make_gate():
+    sim = Simulator()
+    pumps = []
+    gate = AdmissionGate(sim, lambda: pumps.append(sim.now))
+    return sim, gate, pumps
+
+
+def test_ungated_app_is_never_gated():
+    sim, gate, pumps = make_gate()
+    assert not gate.gated("x")
+    assert gate.fraction("x") == 1.0
+
+
+def test_gate_phase_follows_the_clock():
+    sim, gate, pumps = make_gate()
+    gate.set("x", 0.3, 100)
+    # on_ns = 30: admitted in [0, 30) of every 100 ns period.
+    assert not gate.gated("x")
+    seen = {}
+    for t in (10, 29, 30, 70, 99, 100, 125):
+        sim.at(t, lambda t=t: seen.setdefault(t, gate.gated("x")))
+    sim.run(until=200)
+    assert seen == {10: False, 29: False, 30: True, 70: True, 99: True,
+                    100: False, 125: False}
+
+
+def test_next_on_edge_is_the_next_period_start():
+    sim, gate, pumps = make_gate()
+    gate.set("x", 0.3, 100)
+    sim.at(45, lambda: pumps.append(gate.next_on_edge("x")))
+    sim.run(until=50)
+    assert pumps[-1] == 100
+
+
+def test_set_and_clear_pump_the_scheduler():
+    sim, gate, pumps = make_gate()
+    gate.set("x", 0.3, 100)
+    gate.clear("x")
+    assert len(pumps) == 2
+    gate.clear("x")          # no-op clear does not pump again
+    assert len(pumps) == 2
+
+
+def test_full_fraction_clears_the_gate():
+    sim, gate, pumps = make_gate()
+    gate.set("x", 0.3, 100)
+    assert len(gate) == 1
+    gate.set("x", 1.0, 100)
+    assert len(gate) == 0
+
+
+def test_invalid_gate_arguments_raise():
+    sim, gate, pumps = make_gate()
+    with pytest.raises(ValueError):
+        gate.set("x", 0.0, 100)
+    with pytest.raises(ValueError):
+        gate.set("x", 0.5, 0)
+
+
+def test_arm_coalesces_to_the_earliest_edge():
+    sim, gate, pumps = make_gate()
+    gate.set("x", 0.3, 100)
+    del pumps[:]
+    gate.arm(80)
+    gate.arm(120)            # later arm coalesces into the armed one
+    sim.run(until=200)
+    assert pumps == [80]
+    gate.arm(250)
+    gate.arm(220)            # earlier arm replaces the later one
+    sim.run(until=300)
+    assert pumps == [80, 220]
+
+
+def test_gated_transfer_finishes_later():
+    def finish(gated):
+        platform = Platform.full(seed=4)
+        kernel = Kernel(platform)
+        app = scp(kernel, name="xfer", total_bytes=1_500_000)
+        if gated:
+            kernel.net_sched.admission.set(app.id, 0.3, from_msec(60))
+        platform.sim.run(until=30 * SEC)
+        assert app.finished_at is not None
+        return app.finished_at
+
+    assert finish(True) > 1.5 * finish(False)
+
+
+def test_clearing_the_gate_restores_throughput():
+    platform = Platform.full(seed=4)
+    kernel = Kernel(platform)
+    app = scp(kernel, name="xfer", total_bytes=30_000_000)
+    kernel.net_sched.admission.set(app.id, 0.25, from_msec(60))
+    platform.sim.run(until=SEC)
+    gated_kb = app.rate("kb", 0, SEC)
+    kernel.net_sched.admission.clear(app.id)
+    platform.sim.run(until=2 * SEC)
+    cleared_kb = app.rate("kb", SEC, 2 * SEC)
+    assert cleared_kb > 2 * gated_kb

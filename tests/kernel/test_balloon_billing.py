@@ -1,6 +1,5 @@
 """Focused unit tests of balloon billing arithmetic (accel + net)."""
 
-import pytest
 
 from repro.sim.clock import MSEC, SEC
 

@@ -1,0 +1,92 @@
+"""CPU bandwidth throttling (powercap actuator hook) tests."""
+
+import pytest
+
+from repro.hw.platform import Platform
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import SEC, from_msec
+
+from tests.kernel.test_smp import spinner
+
+
+def booted(seed=1):
+    platform = Platform.am57(seed=seed)
+    return platform, Kernel(platform)
+
+
+def work_rate(fraction=None, seed=1):
+    platform, kernel = booted(seed)
+    app = spinner(kernel, "hog", pause_us=50)
+    if fraction is not None:
+        kernel.smp.set_cpu_bandwidth(app, fraction)
+    platform.sim.run(until=SEC)
+    return app.rate("work", 0, SEC)
+
+
+def test_bandwidth_limits_progress_proportionally():
+    full = work_rate(None)
+    third = work_rate(0.3)
+    assert third < 0.5 * full
+    assert third > 0.0
+
+
+def test_tighter_fraction_means_less_progress():
+    assert work_rate(0.2) < work_rate(0.6)
+
+
+def test_clear_restores_full_bandwidth():
+    platform, kernel = booted()
+    app = spinner(kernel, "hog", pause_us=50)
+    kernel.smp.set_cpu_bandwidth(app, 0.3)
+    platform.sim.run(until=SEC)
+    kernel.smp.clear_cpu_bandwidth(app)
+    assert app.id not in kernel.smp.throttles
+    assert not kernel.smp.group_for(app).throttled
+    platform.sim.run(until=2 * SEC)
+    throttled = app.rate("work", 0, SEC)
+    restored = app.rate("work", SEC, 2 * SEC)
+    assert restored > 2 * throttled
+
+
+def test_fraction_of_one_clears_the_throttle():
+    platform, kernel = booted()
+    app = spinner(kernel, "hog")
+    kernel.smp.set_cpu_bandwidth(app, 0.3)
+    assert app.id in kernel.smp.throttles
+    kernel.smp.set_cpu_bandwidth(app, 1.0)
+    assert app.id not in kernel.smp.throttles
+
+
+def test_invalid_bandwidth_arguments_raise():
+    platform, kernel = booted()
+    app = spinner(kernel, "hog")
+    with pytest.raises(ValueError):
+        kernel.smp.set_cpu_bandwidth(app, 0.0)
+    with pytest.raises(ValueError):
+        kernel.smp.set_cpu_bandwidth(app, -0.5)
+    with pytest.raises(ValueError):
+        kernel.smp.set_cpu_bandwidth(app, 0.5, period=0)
+
+
+def test_throttle_updates_fraction_in_place():
+    platform, kernel = booted()
+    app = spinner(kernel, "hog")
+    kernel.smp.set_cpu_bandwidth(app, 0.3)
+    throttle = kernel.smp.throttles[app.id]
+    kernel.smp.set_cpu_bandwidth(app, 0.6, period=from_msec(20))
+    assert kernel.smp.throttles[app.id] is throttle
+    assert throttle.fraction == 0.6
+
+
+def test_throttled_sandboxed_app_still_progresses():
+    """A throttled app inside a psbox keeps making (slower) progress —
+    balloons are torn down at off-edges, not wedged."""
+    platform, kernel = booted()
+    app = spinner(kernel, "boxed", pause_us=50)
+    other = spinner(kernel, "other")
+    box = app.create_psbox(("cpu",))
+    box.enter()
+    kernel.smp.set_cpu_bandwidth(app, 0.4)
+    platform.sim.run(until=SEC)
+    assert app.rate("work", 0, SEC) > 0
+    assert other.rate("work", 0, SEC) > 0

@@ -1,6 +1,5 @@
 """Scheduler behaviour tests: fairness, preemption, migration."""
 
-import pytest
 
 from repro.kernel.actions import Compute, Sleep
 from repro.sim.clock import MSEC, SEC, from_usec

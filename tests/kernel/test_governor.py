@@ -108,3 +108,76 @@ def test_stop_halts_ticks():
     gov.stop()
     sim.run(until=SEC)
     assert domain.index == 0
+
+
+def test_set_clamp_takes_effect_immediately_on_active_context():
+    sim, domain, util, gov = make_governor()
+    util.value = 1.0
+    sim.run(until=100 * MSEC)
+    assert domain.index == domain.max_index
+    gov.set_clamp(WORLD, 1)
+    assert domain.index == 1
+    # Up-jumps under high utilization stay below the clamp.
+    sim.run(until=SEC)
+    assert domain.index == 1
+
+
+def test_clear_clamp_lets_frequency_recover():
+    sim, domain, util, gov = make_governor()
+    util.value = 1.0
+    gov.set_clamp(WORLD, 1)
+    sim.run(until=100 * MSEC)
+    assert domain.index == 1
+    gov.clear_clamp(WORLD)
+    sim.run(until=200 * MSEC)
+    assert domain.index == domain.max_index
+
+
+def test_context_save_restore_under_clamp():
+    sim, domain, util, gov = make_governor()
+    util.value = 1.0
+    gov.switch_context("psbox.1")
+    sim.run(until=100 * MSEC)
+    assert domain.index == domain.max_index
+    gov.switch_context(WORLD)
+    # Clamping an *inactive* context rewrites its saved OPP but leaves the
+    # hardware (running the world context) alone.
+    gov.set_clamp("psbox.1", 2)
+    assert gov.context("psbox.1").index == 2
+    assert domain.index == gov.context(WORLD).index
+    gov.switch_context("psbox.1")
+    assert domain.index == 2
+    # Released, the context ramps back up from the clamped restore point.
+    gov.clear_clamp("psbox.1")
+    sim.run(until=200 * MSEC)
+    assert domain.index == domain.max_index
+
+
+def test_set_clamp_rejects_out_of_table_index():
+    sim, domain, util, gov = make_governor()
+    with pytest.raises(ValueError):
+        gov.set_clamp(WORLD, domain.max_index + 1)
+    with pytest.raises(ValueError):
+        gov.set_clamp(WORLD, -1)
+
+
+def test_restored_context_index_must_be_within_opp_table():
+    sim, domain, util, gov = make_governor()
+    gov.switch_context("psbox.1")
+    gov.context(WORLD).index = domain.max_index + 3
+    with pytest.raises(ValueError, match="outside the domain's OPP table"):
+        gov.switch_context(WORLD)
+
+
+def test_drop_context_forgets_its_clamp():
+    sim, domain, util, gov = make_governor()
+    gov.switch_context("psbox.1")
+    gov.set_clamp("psbox.1", 1)
+    gov.switch_context(WORLD)
+    gov.drop_context("psbox.1")
+    assert "psbox.1" not in gov.clamps
+    # A reborn context with the same key starts unclamped.
+    util.value = 1.0
+    gov.switch_context("psbox.1")
+    sim.run(until=100 * MSEC)
+    assert domain.index == domain.max_index

@@ -1,6 +1,5 @@
 """Unit tests for GroupEntity/AppGroup internals."""
 
-import pytest
 
 from repro.apps.base import App
 from repro.hw.platform import Platform

@@ -26,7 +26,6 @@ def test_packets_transmit_in_order_for_one_app(booted):
 
 def test_byte_fairness_between_apps(booted):
     platform, kernel = booted
-    import itertools
     small = make_app(kernel, "small")
     big = make_app(kernel, "big")
     # big sends 3x the bytes per packet; fair queueing should interleave

@@ -1,6 +1,5 @@
 """Coscheduling (spatial balloon) mechanism tests."""
 
-import pytest
 
 from repro.kernel.actions import Compute, Sleep
 from repro.sim.clock import MSEC, SEC, from_usec

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.apps.base import App
 from repro.kernel.actions import (
     Compute,
     SendPacket,

@@ -1,0 +1,122 @@
+"""Actuator tests: level-to-mechanism mapping and clean release."""
+
+import pytest
+
+from repro.hw.dvfs import FreqDomain
+from repro.hw.power import CpuPowerModel
+from repro.kernel.governor import WORLD, OndemandGovernor
+from repro.powercap.actuators import (
+    BalloonAdmissionActuator,
+    CfsBandwidthActuator,
+    GovernorClampActuator,
+)
+from repro.sim.clock import from_msec
+from repro.sim.engine import Simulator
+
+
+def make_governor():
+    sim = Simulator()
+    domain = FreqDomain(sim, "d", CpuPowerModel().opps, initial_index=0)
+    gov = OndemandGovernor(sim, domain, lambda t0, t1: 0.0)
+    return gov
+
+
+class FakeSmp:
+    def __init__(self):
+        self.calls = []
+
+    def set_cpu_bandwidth(self, app, fraction, period):
+        self.calls.append(("set", app, fraction, period))
+
+    def clear_cpu_bandwidth(self, app):
+        self.calls.append(("clear", app))
+
+
+class FakeAdmission:
+    def __init__(self):
+        self.calls = []
+
+    def set(self, app_id, fraction, period):
+        self.calls.append(("set", app_id, fraction, period))
+
+    def clear(self, app_id):
+        self.calls.append(("clear", app_id))
+
+
+class FakeSched:
+    def __init__(self):
+        self.admission = FakeAdmission()
+
+
+class FakeApp:
+    id = 7
+
+
+def test_governor_clamp_level_mapping():
+    gov = make_governor()
+    top = gov.domain.max_index
+    act = GovernorClampActuator(gov, (WORLD,))
+    act.apply(1.0)
+    assert gov.clamps[WORLD] == 0           # full throttle pins the bottom
+    act.apply(0.5)
+    assert gov.clamps[WORLD] == top - round(0.5 * top)
+    act.apply(0.0)
+    assert WORLD not in gov.clamps          # level 0 leaves no residue
+
+
+def test_governor_clamp_respects_min_index():
+    gov = make_governor()
+    act = GovernorClampActuator(gov, (WORLD,), min_index=2)
+    act.apply(1.0)
+    assert gov.clamps[WORLD] == 2
+
+
+def test_governor_clamp_validation():
+    gov = make_governor()
+    with pytest.raises(ValueError):
+        GovernorClampActuator(gov, ())
+    with pytest.raises(ValueError):
+        GovernorClampActuator(gov, (WORLD,),
+                              min_index=gov.domain.max_index + 1)
+    act = GovernorClampActuator(gov, (WORLD,))
+    with pytest.raises(ValueError):
+        act.apply(1.5)
+
+
+def test_cfs_bandwidth_level_mapping():
+    smp = FakeSmp()
+    app = FakeApp()
+    act = CfsBandwidthActuator(smp, app, floor=0.2, period=from_msec(10))
+    act.apply(0.5)
+    assert smp.calls[-1] == ("set", app, pytest.approx(0.6), from_msec(10))
+    act.apply(1.0)
+    assert smp.calls[-1][2] == pytest.approx(0.2)   # never below the floor
+    act.apply(0.0)
+    assert smp.calls[-1] == ("clear", app)
+
+
+def test_balloon_admission_level_mapping():
+    sched = FakeSched()
+    app = FakeApp()
+    act = BalloonAdmissionActuator(sched, app, floor=0.15,
+                                   period=from_msec(40))
+    act.apply(0.5)
+    assert sched.admission.calls[-1] == \
+        ("set", 7, pytest.approx(0.575), from_msec(40))
+    act.apply(0.0)
+    assert sched.admission.calls[-1] == ("clear", 7)
+
+
+def test_release_equals_level_zero():
+    smp = FakeSmp()
+    act = CfsBandwidthActuator(smp, FakeApp())
+    act.apply(0.8)
+    act.release()
+    assert smp.calls[-1][0] == "clear"
+
+
+def test_floor_validation():
+    with pytest.raises(ValueError):
+        CfsBandwidthActuator(FakeSmp(), FakeApp(), floor=0.0)
+    with pytest.raises(ValueError):
+        BalloonAdmissionActuator(FakeSched(), FakeApp(), floor=1.0)

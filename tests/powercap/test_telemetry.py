@@ -1,0 +1,75 @@
+"""Telemetry ring tests: bounded retention, filters, JSON export."""
+
+import json
+
+import pytest
+
+from repro.powercap.telemetry import TelemetryRing
+
+
+def fill(ring, n, node="x"):
+    for i in range(n):
+        ring.record(i, node, 0.5 + i, 1.0, "hold", 0.0)
+
+
+def test_records_come_back_oldest_first():
+    ring = TelemetryRing(capacity=8)
+    fill(ring, 5)
+    assert [e["t"] for e in ring.records()] == [0, 1, 2, 3, 4]
+    assert len(ring) == 5
+
+
+def test_full_ring_overwrites_the_oldest():
+    ring = TelemetryRing(capacity=4)
+    fill(ring, 6)
+    assert [e["t"] for e in ring.records()] == [2, 3, 4, 5]
+    assert len(ring) == 4
+    assert ring.dropped == 2
+
+
+def test_node_and_time_filters():
+    ring = TelemetryRing(capacity=16)
+    ring.record(10, "a", 1.0, 1.0, "hold", 0.0)
+    ring.record(20, "b", 2.0, 1.0, "hold", 0.0)
+    ring.record(30, "a", 3.0, 1.0, "hold", 0.0)
+    assert [e["t"] for e in ring.records(node="a")] == [10, 30]
+    # t1 is exclusive, t0 inclusive.
+    assert [e["t"] for e in ring.records(t0=20, t1=30)] == [20]
+
+
+def test_latest():
+    ring = TelemetryRing(capacity=4)
+    assert ring.latest() is None
+    ring.record(1, "a", 1.0, 1.0, "hold", 0.0)
+    ring.record(2, "b", 2.0, 1.0, "hold", 0.0)
+    assert ring.latest()["t"] == 2
+    assert ring.latest(node="a")["t"] == 1
+
+
+def test_budget_may_be_none():
+    ring = TelemetryRing(capacity=4)
+    entry = ring.record(1, "root", 1.5, None, "aggregate", 0.0)
+    assert entry["budget_w"] is None
+
+
+def test_to_json_round_trips():
+    ring = TelemetryRing(capacity=4)
+    fill(ring, 3)
+    decoded = json.loads(ring.to_json())
+    assert decoded == ring.records()
+    # Stable key order makes the export usable for bit-exact comparisons.
+    assert ring.to_json() == ring.to_json()
+
+
+def test_clear_resets_everything():
+    ring = TelemetryRing(capacity=2)
+    fill(ring, 5)
+    ring.clear()
+    assert len(ring) == 0
+    assert ring.dropped == 0
+    assert ring.records() == []
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        TelemetryRing(capacity=0)

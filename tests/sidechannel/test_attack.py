@@ -20,7 +20,6 @@ def test_attack_result_empty():
 
 
 def test_znorm_properties():
-    import numpy as np
     arr = _znorm([1.0, 2.0, 3.0])
     assert arr.mean() == pytest.approx(0.0, abs=1e-12)
     assert arr.std() == pytest.approx(1.0)

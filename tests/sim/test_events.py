@@ -1,6 +1,7 @@
 """Unit tests for the event queue."""
 
-import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.sim.events import Event, EventQueue
 
@@ -75,3 +76,21 @@ def test_empty_queue_pop_and_peek():
     q = make_queue()
     assert q.pop() is None
     assert q.peek_time() is None
+
+
+@given(st.lists(st.integers(min_value=0, max_value=20), max_size=50))
+def test_pop_order_is_stable_sort_by_time(times):
+    """Property: popping everything yields the pushed events stable-sorted
+    by timestamp — i.e. equal-timestamp events come out FIFO."""
+    q = make_queue()
+    pushed = [q.push(t, lambda: None, ()) for t in times]
+    popped = []
+    while True:
+        ev = q.pop()
+        if ev is None:
+            break
+        popped.append(ev)
+    # Python's sort is stable and ``pushed`` is in insertion order, so this
+    # is exactly "time-ordered, FIFO among ties".
+    expected = sorted(pushed, key=lambda ev: ev.time)
+    assert [id(ev) for ev in popped] == [id(ev) for ev in expected]

@@ -4,7 +4,6 @@ StepTrace carries the power rails, so its integration/resampling must be
 exact; hypothesis drives random change-point sequences through it.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
