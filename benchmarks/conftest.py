@@ -7,7 +7,26 @@ survives pytest's capture regardless of flags.
 
 import os
 
+import pytest
+
+from repro.sim.rng import RngRegistry
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+# Same seeded-RNG policy as tests/conftest.py (benchmarks are collected
+# from a separate rootdir, so the fixtures are re-declared here).
+
+@pytest.fixture(scope="session")
+def test_seed():
+    """The session's base seed (override with ``PSBOX_TEST_SEED=n``)."""
+    return int(os.environ.get("PSBOX_TEST_SEED", "0"))
+
+
+@pytest.fixture
+def rng(test_seed, request):
+    """A ``numpy.random.Generator`` unique and stable per benchmark."""
+    return RngRegistry(test_seed).fresh(request.node.nodeid)
 
 _SESSION_BLOCKS = []
 

@@ -1,7 +1,5 @@
 """Microbenchmarks of the library's own machinery (multi-round timings)."""
 
-import numpy as np
-
 from repro.apps.cpu_apps import calib3d, dedup
 from repro.hw.platform import Platform
 from repro.kernel.kernel import Kernel
@@ -25,10 +23,9 @@ def test_bench_event_loop_throughput(benchmark):
     benchmark(run)
 
 
-def test_bench_step_trace_resample(benchmark):
+def test_bench_step_trace_resample(benchmark, rng):
     trace = StepTrace(0.0)
     t = 0
-    rng = np.random.default_rng(0)
     for _ in range(2000):
         t += int(rng.integers(1000, 100_000))
         trace.set(t, float(rng.random()))
@@ -36,10 +33,9 @@ def test_bench_step_trace_resample(benchmark):
     benchmark(lambda: trace.resample(0, t, 10 * USEC))
 
 
-def test_bench_step_trace_integrate(benchmark):
+def test_bench_step_trace_integrate(benchmark, rng):
     trace = StepTrace(0.0)
     t = 0
-    rng = np.random.default_rng(0)
     for _ in range(2000):
         t += int(rng.integers(1000, 100_000))
         trace.set(t, float(rng.random()))
@@ -59,8 +55,7 @@ def test_bench_kernel_corun_simulation(benchmark):
     benchmark.pedantic(run, rounds=3, iterations=1)
 
 
-def test_bench_dtw(benchmark):
-    rng = np.random.default_rng(1)
+def test_bench_dtw(benchmark, rng):
     a = rng.normal(size=300)
     b = rng.normal(size=300)
     benchmark(lambda: dtw_distance(a, b, window=30))

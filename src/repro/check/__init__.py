@@ -1,0 +1,19 @@
+"""Runtime invariant checking (`repro.check`).
+
+Attach an :class:`InvariantChecker` to a kernel to machine-check the
+paper's guarantees — balloon exclusivity, vruntime monotonicity, loan and
+energy conservation, vstate restore correctness, liveness, powercap cap
+compliance — on every event and on a periodic sweep, while the simulation
+runs.  See ``docs/TESTING.md`` for how to add an invariant.
+"""
+
+from repro.check.checker import CheckerConfig, InvariantChecker
+from repro.check.report import CheckReport, CheckViolation, Violation
+
+__all__ = [
+    "CheckerConfig",
+    "CheckReport",
+    "CheckViolation",
+    "InvariantChecker",
+    "Violation",
+]

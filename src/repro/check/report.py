@@ -1,0 +1,63 @@
+"""Violation records and check reports."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach: when, which rule, and who is responsible."""
+
+    t: int                # sim time of detection (ns)
+    invariant: str        # e.g. "balloon_exclusivity"
+    component: str        # responsible component ("smp", "gpu", "governor.cpu"...)
+    event: str            # the triggering event/check ("cosched_tick", "switch"...)
+    message: str
+
+    def __str__(self):
+        return "[t={} ns] {} on {} ({}): {}".format(
+            self.t, self.invariant, self.component, self.event, self.message
+        )
+
+
+class CheckViolation(AssertionError):
+    """Raised in strict mode on the first violation."""
+
+    def __init__(self, violation):
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+@dataclass
+class CheckReport:
+    """Accumulated outcome of one checked run."""
+
+    violations: list = field(default_factory=list)
+    checks: int = 0           # individual assertions evaluated
+    max_violations: int = 1000
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def count(self, invariant=None):
+        if invariant is None:
+            return len(self.violations)
+        return sum(1 for v in self.violations if v.invariant == invariant)
+
+    def by_invariant(self):
+        """Violation counts keyed by invariant name."""
+        out = {}
+        for violation in self.violations:
+            out[violation.invariant] = out.get(violation.invariant, 0) + 1
+        return out
+
+    def summary(self):
+        if self.ok:
+            return "OK ({} checks)".format(self.checks)
+        parts = ", ".join(
+            "{}x {}".format(n, name)
+            for name, n in sorted(self.by_invariant().items())
+        )
+        return "{} violations ({} checks): {}".format(
+            len(self.violations), self.checks, parts
+        )

@@ -126,6 +126,10 @@ class PsboxManager:
             return 0.0
         return psbox.vmeter.energy(t0, t1) / ((t1 - t0) / 1e9)
 
+    def boxes_bound_to(self, component):
+        """Registered sandboxes bound to ``component`` (entered or not)."""
+        return [box for box in self.sandboxes if component in box.components]
+
     # -- balloon window plumbing ---------------------------------------------------
 
     def _psbox_of(self, app, component):

@@ -142,6 +142,17 @@ class PowerSandbox:
         self.kernel.sim.call_later(dt, take)
         return buffer
 
+    def observation_windows(self, component, t0=None, t1=None):
+        """The balloon windows this sandbox observed on ``component``.
+
+        Kernel-side readout (no entered requirement): used by invariant
+        checking and analysis code to audit window disjointness and
+        attribution without reaching into ``core/vmeter.py`` internals.
+        """
+        t0 = 0 if t0 is None else t0
+        t1 = self.kernel.now if t1 is None else t1
+        return self.vmeter.windows(component, t0, t1)
+
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self):

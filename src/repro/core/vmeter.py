@@ -72,14 +72,26 @@ class VirtualPowerMeter:
             if comp == "display":
                 total += self._display_energy(t0, t1)
                 continue
-            rail = self.platform.rails[comp]
+            joules, covered = self.windowed_energy(comp, t0, t1)
             idle_w = self.platform.idle_power(comp)
-            covered = 0
-            for lo, hi in self.windows(comp, t0, t1):
-                total += rail.energy(lo, hi)
-                covered += hi - lo
-            total += idle_w * (t1 - t0 - covered) / 1e9
+            total += joules + idle_w * (t1 - t0 - covered) / 1e9
         return total
+
+    def windowed_energy(self, component, t0, t1):
+        """``(joules, covered_ns)`` attributed from the rail over [t0, t1).
+
+        The rail energy falling inside this meter's observation windows and
+        the window time covered — the window-attributed share of the rail,
+        before idle fill.  This is what energy-conservation checks compare
+        against the rail total (``repro.check``).
+        """
+        rail = self.platform.rails[component]
+        joules = 0.0
+        covered = 0
+        for lo, hi in self.windows(component, t0, t1):
+            joules += rail.energy(lo, hi)
+            covered += hi - lo
+        return joules, covered
 
     def _display_energy(self, t0, t1):
         if self.app_id is None:

@@ -153,8 +153,32 @@ def run_powercap():
     ))
 
 
+def run_faults():
+    from repro.experiments.faults_exp import run_faults as _run
+
+    campaign = _run()
+    rows = [
+        [o.name, o.workload, str(o.injections), str(o.violations),
+         o.outcome + ("" if o.matches else " (MISMATCH!)")]
+        for o in campaign.outcomes
+    ]
+    print(format_table(
+        ["scenario", "workload", "injections", "violations", "outcome"],
+        rows,
+        title="Fault campaign — seed {}".format(campaign.seed),
+    ))
+    for o in campaign.outcomes:
+        if o.first_violation:
+            print("  {}: first violation {}".format(o.name, o.first_violation))
+    print("campaign {}: {}/{} scenarios matched expectations".format(
+        "ok" if campaign.ok else "FAILED",
+        len(campaign.outcomes) - len(campaign.mismatches),
+        len(campaign.outcomes)))
+
+
 EXPERIMENTS = {
     "fig3": run_fig3,
+    "faults": run_faults,
     "powercap": run_powercap,
     "fig6": run_fig6,
     "fig7": run_fig7,

@@ -1,0 +1,26 @@
+"""Deterministic fault injection (`repro.faults`).
+
+Install a :class:`FaultPlan` on a simulator and the kernel's injection
+sites (IPI delivery, drain transitions, governor writes, meter sampling,
+powercap telemetry, task lifetimes) perturb accordingly — seed-reproducibly
+and bit-identically off by default.  ``repro.experiments faults`` runs the
+named scenario matrix in :mod:`repro.faults.scenarios` against
+:mod:`repro.check` and reports tolerated vs. detected outcomes.
+"""
+
+from repro.faults.diff import fingerprint
+from repro.faults.injectors import TaskCrashInjector
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.scenarios import DETECTED, SCENARIOS, TOLERATED, Scenario, scenario
+
+__all__ = [
+    "DETECTED",
+    "FaultPlan",
+    "FaultSpec",
+    "SCENARIOS",
+    "Scenario",
+    "TOLERATED",
+    "TaskCrashInjector",
+    "fingerprint",
+    "scenario",
+]

@@ -1,0 +1,123 @@
+"""The named fault-scenario matrix for the campaign experiment.
+
+Each :class:`Scenario` bundles a workload, the fault specs to arm, and the
+*expected* campaign outcome: ``tolerated`` (the perturbation is absorbed —
+every invariant still holds) or ``detected`` (the checker must report at
+least one violation, naming event, time and component).  Either way there
+is no silent corruption: a fault is only acceptable if the run proves which
+side of the line it falls on.
+"""
+
+from dataclasses import dataclass
+
+from repro.faults.plan import FaultPlan
+from repro.sim.clock import from_msec, from_usec
+
+TOLERATED = "tolerated"
+DETECTED = "detected"
+
+MIXED = "mixed"          # full platform, CPU+GPU+WiFi sandboxes contending
+POWERCAP = "powercap"    # two-tenant workload under the powercap daemon
+
+
+@dataclass(frozen=True)
+class Scenario:
+    name: str
+    description: str
+    workload: str
+    expect: str
+    faults: tuple    # of (site, kind, params-dict)
+
+    def build_plan(self, sim, enabled=True):
+        """Instantiate and install this scenario's plan on ``sim``."""
+        plan = FaultPlan(sim, name="faults." + self.name, enabled=enabled)
+        for site, kind, params in self.faults:
+            plan.add(site, kind, **params)
+        return plan.install()
+
+
+SCENARIOS = (
+    Scenario(
+        "baseline", "no faults armed (sanity anchor)",
+        MIXED, TOLERATED, (),
+    ),
+    Scenario(
+        "ipi-delay", "shootdown IPIs arrive 40-60 us late",
+        MIXED, TOLERATED,
+        (("smp.ipi", "delay",
+          {"extra_ns": from_usec(40), "jitter_ns": from_usec(20)}),),
+    ),
+    Scenario(
+        "ipi-drop", "70% of shootdown IPIs lost in transit",
+        MIXED, DETECTED,
+        (("smp.ipi", "drop", {"prob": 0.7}),),
+    ),
+    Scenario(
+        "ipi-delay-extreme", "shootdown IPIs delayed by 30 ms",
+        MIXED, DETECTED,
+        (("smp.ipi", "delay", {"extra_ns": from_msec(30)}),),
+    ),
+    Scenario(
+        "gpu-drain-slow", "GPU drain transitions stall 10-15 ms",
+        MIXED, TOLERATED,
+        (("gpu.drain", "hold",
+          {"extra_ns": from_msec(10), "jitter_ns": from_msec(5)}),),
+    ),
+    Scenario(
+        "gpu-drain-stuck", "a GPU drain wedges for 400 ms",
+        MIXED, DETECTED,
+        (("gpu.drain", "hold", {"extra_ns": from_msec(400), "limit": 2}),),
+    ),
+    Scenario(
+        "net-drain-slow", "WiFi drain transitions stall 20-30 ms",
+        MIXED, TOLERATED,
+        (("net.drain", "hold",
+          {"extra_ns": from_msec(20), "jitter_ns": from_msec(10)}),),
+    ),
+    Scenario(
+        "governor-stuck", "every governor OPP write silently ignored",
+        MIXED, TOLERATED,
+        (("governor.opp", "drop", {"prob": 1.0}),),
+    ),
+    Scenario(
+        "governor-latency", "OPP transitions land 3-5 ms late",
+        MIXED, TOLERATED,
+        (("governor.opp", "hold",
+          {"extra_ns": from_msec(3), "jitter_ns": from_msec(2)}),),
+    ),
+    Scenario(
+        "governor-restore-corrupt",
+        "half the context-restore OPP writes are lost",
+        MIXED, DETECTED,
+        (("governor.restore", "corrupt", {"prob": 0.5}),),
+    ),
+    Scenario(
+        "meter-noise", "80 mW Gaussian noise on every meter sample",
+        MIXED, TOLERATED,
+        (("meter.sample", "noise", {"noise_w": 0.08}),),
+    ),
+    Scenario(
+        "meter-dropout", "25% of meter samples lost (forward-filled)",
+        MIXED, TOLERATED,
+        (("meter.sample", "dropout", {"fraction": 0.25}),),
+    ),
+    Scenario(
+        "task-crash", "tasks crash every ~120 ms and restart after 20 ms",
+        MIXED, TOLERATED,
+        (("task.crash", "crash",
+          {"interval_ns": from_msec(120), "extra_ns": from_msec(20),
+           "jitter_ns": from_msec(10), "limit": 6}),),
+    ),
+    Scenario(
+        "powercap-stale", "the powercap daemon only ever sees stale power",
+        POWERCAP, DETECTED,
+        (("powercap.telemetry", "corrupt", {"prob": 1.0}),),
+    ),
+)
+
+
+def scenario(name):
+    for s in SCENARIOS:
+        if s.name == name:
+            return s
+    raise KeyError("no fault scenario named {!r}".format(name))

@@ -31,12 +31,22 @@ class PowerMeter:
         return self.rails[name]
 
     def sample(self, rail_name, t0, t1, dt=None):
-        """Return ``(times, watts)`` arrays over [t0, t1)."""
+        """Return ``(times, watts)`` arrays over [t0, t1).
+
+        An installed fault plan may perturb the returned samples (noise,
+        dropout) at the ``meter.sample`` site — samples only; ``energy``
+        stays the exact integral, as a real DAQ glitch would not change the
+        physical joules drawn.
+        """
         dt = dt or self.sample_interval
         times, watts = self.rail(rail_name).trace.resample(t0, t1, dt)
         if self.noise_w > 0 and self._rng is not None:
             watts = watts + self._rng.normal(0.0, self.noise_w, size=len(watts))
             watts = np.maximum(watts, 0.0)
+        plan = self.sim.faults
+        if plan is not None:
+            watts = plan.sample_noise("meter.sample", watts)
+            watts = plan.sample_dropout("meter.sample", watts)
         return times, watts
 
     def energy(self, rail_name, t0, t1):

@@ -118,6 +118,13 @@ class WifiNic:
             apps.append(self._transmitting.app_id)
         return apps
 
+    def inflight_apps(self):
+        """App ids with a transmission queued, on the air, or awaiting a
+        completion notification (the set draining must empty)."""
+        return self.queued_apps() + [
+            pkt.app_id for pkt in self._pending_completions
+        ]
+
     def enqueue(self, packet):
         """Accept a packet into the FIFO; returns False when full."""
         if not self.has_room:

@@ -71,6 +71,30 @@ class AccelScheduler:
         self._drain_idle_ns = 0.0
         self._drain_last_t = None
         self._flush_remaining = 0
+        self._fault_hold_until = None
+        self._fault_site = name + ".drain"
+
+    def _fault_held(self):
+        """True while an injected stall pins the current drain transition.
+
+        One hold is drawn per drain phase; a re-pump is scheduled for when
+        it expires.  Pure read (False) without an armed fault plan.
+        """
+        now = self.sim.now
+        if self._fault_hold_until is not None:
+            if now < self._fault_hold_until:
+                return True
+            self._fault_hold_until = None
+            return False
+        plan = self.sim.faults
+        if plan is None:
+            return False
+        hold = plan.hold_ns(self._fault_site)
+        if hold <= 0:
+            return False
+        self._fault_hold_until = now + hold
+        self.sim.call_later(hold, self._pump)
+        return True
 
     # -- submission --------------------------------------------------------------
 
@@ -121,6 +145,7 @@ class AccelScheduler:
                 if self._window_open_t is not None:
                     self._close_window()
                 self.state = NORMAL
+            self._fault_hold_until = None
             self.psbox_app = None
             self._pump()
             return
@@ -166,11 +191,15 @@ class AccelScheduler:
         if self.state == DRAIN_OTHERS:
             self._drain_account()
             if self.engine.inflight_count == 0:
+                if self._fault_held():
+                    return
                 self._open_window()
             else:
                 return
         if self.state == DRAIN_PSBOX:
             if self.engine.inflight_count == 0:
+                if self._fault_held():
+                    return
                 self._close_window()
             else:
                 return
@@ -226,6 +255,8 @@ class AccelScheduler:
             self.state = DRAIN_PSBOX
             self.log.log(self.sim.now, "drain_psbox", app=self.psbox_app.id)
             if self.engine.inflight_count == 0:
+                if self._fault_held():
+                    return
                 self._close_window()
                 self._pump_normal()
             return
@@ -256,6 +287,8 @@ class AccelScheduler:
         self._drain_idle_ns = 0.0
         self.log.log(self.sim.now, "drain_others", app=self.psbox_app.id)
         if self.engine.inflight_count == 0:
+            if self._fault_held():
+                return
             self._open_window()
             self._pump_serve()
 

@@ -11,6 +11,7 @@ OPP — so no app observes another app's lingering frequency state.
 """
 
 from repro.sim.clock import from_msec
+from repro.sim.trace import EventTrace
 
 WORLD = "world"
 
@@ -53,6 +54,7 @@ class OndemandGovernor:
         self.contexts = {WORLD: _ContextState(initial_index)}
         self.active = WORLD
         self.clamps = {}
+        self.log = EventTrace("governor." + domain.name)
         self._last_settle = sim.now
         domain.set_opp(initial_index)
         self._tick_event = sim.call_later(tick, self._on_tick)
@@ -79,7 +81,15 @@ class OndemandGovernor:
                                          self.domain.max_index)
             )
         self.active = key
-        self.domain.set_opp(self._clamped(key, state.index))
+        target = self._clamped(key, state.index)
+        plan = self.sim.faults
+        if plan is None or not plan.corrupts("governor.restore"):
+            self.domain.set_opp(target)
+        # else: the restore write was lost — the hardware keeps the previous
+        # context's OPP, leaking lingering frequency state across the
+        # boundary (exactly what repro.check's vstate invariant catches).
+        self.log.log(self.sim.now, "switch", key=key, expected=target,
+                     actual=self.domain.index)
         state.index = self.domain.index
 
     # -- OPP clamping (powercap actuator hook) -----------------------------------
@@ -145,10 +155,28 @@ class OndemandGovernor:
         state.busy = 0.0
         state.wall = 0
         if utilization > self.up_threshold:
-            self.domain.set_opp(self._clamped(self.active, self.domain.max_index))
+            self._program(self._clamped(self.active, self.domain.max_index))
         elif utilization < self.down_threshold:
-            self.domain.step(-1)
+            self._program(self.domain.index - 1)
         state.index = self.domain.index
+
+    def _program(self, index):
+        """Write one tick decision to the hardware (fault injection site).
+
+        An injected ``drop`` loses the write (the domain sticks at its
+        current OPP); an injected ``hold`` lands it late, modelling an OPP
+        transition latency spike.  Without an armed plan this is exactly
+        ``domain.set_opp``.
+        """
+        plan = self.sim.faults
+        if plan is not None:
+            if plan.drops("governor.opp"):
+                return
+            lag = plan.hold_ns("governor.opp")
+            if lag > 0:
+                self.sim.call_later(lag, self.domain.set_opp, index)
+                return
+        self.domain.set_opp(index)
 
     def stop(self):
         if self._tick_event is not None:

@@ -66,8 +66,32 @@ class PacketScheduler:
         self._drain_start_t = None
         self._drain_busy_est_ns = 0
         self._window_bytes = 0
+        self._fault_hold_until = None
+        self._fault_site = "net.drain"
 
         nic.space.subscribe(lambda _nic: self._pump())
+
+    def _fault_held(self):
+        """True while an injected stall pins the current drain transition.
+
+        Mirrors ``AccelScheduler._fault_held``: one hold per drain phase,
+        re-pumped when it expires; a pure read without an armed plan.
+        """
+        now = self.sim.now
+        if self._fault_hold_until is not None:
+            if now < self._fault_hold_until:
+                return True
+            self._fault_hold_until = None
+            return False
+        plan = self.sim.faults
+        if plan is None:
+            return False
+        hold = plan.hold_ns(self._fault_site)
+        if hold <= 0:
+            return False
+        self._fault_hold_until = now + hold
+        self.sim.call_later(hold, self._pump)
+        return True
 
     # -- submission ----------------------------------------------------------------
 
@@ -111,6 +135,7 @@ class PacketScheduler:
             if self._window_open_t is not None:
                 self._close_window()
             self.state = NORMAL
+            self._fault_hold_until = None
             self.psbox_app = None
             self._pump()
             return
@@ -157,11 +182,15 @@ class PacketScheduler:
     def _pump(self):
         if self.state == DRAIN_OTHERS:
             if self.nic.is_drained:
+                if self._fault_held():
+                    return
                 self._open_window()
             else:
                 return
         if self.state == DRAIN_PSBOX:
             if self.nic.is_drained:
+                if self._fault_held():
+                    return
                 self._close_window()
             else:
                 return
@@ -204,6 +233,8 @@ class PacketScheduler:
             self.state = DRAIN_PSBOX
             self.log.log(self.sim.now, "drain_psbox", app=self.psbox_app.id)
             if self.nic.is_drained:
+                if self._fault_held():
+                    return
                 self._close_window()
                 self._pump_normal()
             return
@@ -253,6 +284,8 @@ class PacketScheduler:
         ) + queued * self.nic.per_packet_overhead
         self.log.log(self.sim.now, "drain_others", app=self.psbox_app.id)
         if self.nic.is_drained:
+            if self._fault_held():
+                return
             self._open_window()
             self._pump_serve()
 

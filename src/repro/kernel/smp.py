@@ -160,8 +160,11 @@ class SmpScheduler:
         if was_running:
             sched.settle()
             sched.current_task = None
-            if task.running:
-                sched.core.preempt()
+            # Revoke the core even if the task already left RUNNING state
+            # (a crashed task is DONE by the time it reaches here but its
+            # work item may still occupy the core); preempt() no-ops when
+            # the core is idle.
+            sched.core.preempt()
         if task in entity.members:
             entity.members.remove(task)
         if not entity.members and not entity.forced:
@@ -288,6 +291,7 @@ class SmpScheduler:
         cosched.window_open = self.sim.now
         for hook in self.balloon_in_hooks:
             hook(group.app, self.sim.now)
+        plan = self.sim.faults
         for sched in self.cores:
             entity = self._entity_on(group, sched.core.id)
             entity.forced = True
@@ -295,7 +299,14 @@ class SmpScheduler:
                 sched.forced_entity = entity
                 continue
             cosched.pending_cores.add(sched.core.id)
-            self.sim.call_later(self.ipi_delay, self._ipi_arrive, sched, cosched)
+            delay = self.ipi_delay
+            if plan is not None:
+                if plan.drops("smp.ipi"):
+                    # Shootdown lost in transit: the core stays pending (a
+                    # detectable liveness violation), never switches in.
+                    continue
+                delay = plan.delay("smp.ipi", delay)
+            self.sim.call_later(delay, self._ipi_arrive, sched, cosched)
 
     def _ipi_arrive(self, sched, cosched):
         """Task shootdown on a remote core (step 2 of the protocol)."""
@@ -413,9 +424,14 @@ class SmpScheduler:
             idle_cores_avg = idle_ns / duration
             surcharge = max(0.0, idle_cores_avg - 1.0) * duration
 
+        shares = []
         for sched in self.cores:
             entity = self._entity_on(group, sched.core.id)
-            entity.vruntime += mean + surcharge / entity.weight
+            share = mean + surcharge / entity.weight
+            entity.vruntime += share
+            shares.append(share)
+        self.log.log(self.sim.now, "loan_redistribution", app=group.app.id,
+                     total=total, surcharge=surcharge, shares=shares)
 
     # -- bandwidth throttling (powercap actuator hook) ---------------------------------
 

@@ -49,9 +49,27 @@ class Task:
 
     def start(self):
         """Begin executing the behaviour (called by the kernel on spawn)."""
+        if self.state == DONE:
+            return   # crashed before its deferred start ran
         if self.state != NEW:
             raise RuntimeError("task {} already started".format(self.name))
         self._advance(None)
+
+    def crash(self):
+        """Kill the task abruptly (fault injection / app death).
+
+        Safe in any state: pending completion callbacks for its outstanding
+        device work become no-ops (``_async_done`` ignores non-BLOCKED
+        tasks) and a pending timer wake checks for SLEEPING.  The kernel
+        tears the task out of the scheduler exactly as on a normal exit.
+        """
+        if self.state == DONE:
+            return
+        self.behavior.close()
+        self.work = None
+        self._waiting_all = False
+        self._outstanding_limit = None
+        self._finish()
 
     @property
     def runnable(self):

@@ -145,9 +145,14 @@ class PowerCapController:
 
         measured = {}
         demands = {}
+        plan = self.sim.faults
         for binding in self.bindings:
-            watts = self.manager.read_power(binding.psbox, t0, t1)
             state = self._states[binding.node]
+            watts = self.manager.read_power(binding.psbox, t0, t1)
+            if plan is not None and plan.corrupts("powercap.telemetry"):
+                # Stale telemetry: the meter path did not deliver a fresh
+                # reading this tick, so the daemon reuses the previous one.
+                watts = state.measured_w
             measured[binding.node] = watts
             # Demand estimate: what the app would draw unthrottled.  The
             # measured power of a throttled app understates it by roughly

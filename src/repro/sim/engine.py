@@ -13,6 +13,11 @@ class Simulator:
         self._queue = EventQueue()
         self.rng = RngRegistry(seed)
         self.processes = []
+        # Active fault-injection plan (:class:`repro.faults.FaultPlan`), or
+        # None.  Components consult it at their injection sites; with no
+        # plan installed those sites are pure reads and the simulation is
+        # bit-identical to a build without them.
+        self.faults = None
 
     @property
     def now(self):

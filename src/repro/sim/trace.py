@@ -123,9 +123,28 @@ class EventTrace:
     def __init__(self, name=""):
         self.name = name
         self.records = []
+        self._subscribers = []
 
     def log(self, t, kind, **payload):
         self.records.append((t, kind, payload))
+        if self._subscribers:
+            for fn in tuple(self._subscribers):
+                fn(t, kind, payload)
+
+    def subscribe(self, fn):
+        """Call ``fn(t, kind, payload)`` on every future record.
+
+        This is the event bus observers (e.g. ``repro.check``) attach to.
+        Subscribers run synchronously inside the component that logged, so
+        they must be read-only with respect to simulation state.
+        """
+        self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn):
+        """Remove a subscriber (no-op when not subscribed)."""
+        if fn in self._subscribers:
+            self._subscribers.remove(fn)
 
     def __len__(self):
         return len(self.records)

@@ -1,0 +1,91 @@
+"""Unit tests of the invariant checker's plumbing and reports."""
+
+import pytest
+
+from repro.apps.base import App
+from repro.check import CheckReport, CheckViolation, InvariantChecker, Violation
+from repro.experiments.faults_exp import build_workload
+from repro.faults import scenario
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, from_usec
+
+
+def _small_run(seed=4, horizon=300 * MSEC, **checker_kwargs):
+    platform = Platform.full(seed=seed)
+    kernel = Kernel(platform)
+    for i, (burst, pause_us) in enumerate([(4e6, 150), (3e6, 250)]):
+        app = App(kernel, "app{}".format(i))
+
+        def behavior(app=app, burst=burst, pause_us=pause_us):
+            while True:
+                yield Compute(burst)
+                app.count("work", 1)
+                yield Sleep(from_usec(pause_us))
+
+        app.spawn(behavior())
+        if i == 0:
+            app.create_psbox(("cpu",)).enter()
+    checker = InvariantChecker(kernel, **checker_kwargs).attach()
+    platform.sim.run(until=horizon)
+    return checker
+
+
+def test_violation_string_names_event_time_and_component():
+    violation = Violation(t=42, invariant="balloon_exclusivity",
+                          component="smp", event="cosched_tick",
+                          message="foreign entity inside balloon")
+    text = str(violation)
+    for needle in ("t=42 ns", "balloon_exclusivity", "smp", "cosched_tick",
+                   "foreign entity"):
+        assert needle in text
+
+
+def test_report_aggregation():
+    report = CheckReport()
+    assert report.ok
+    assert report.summary().startswith("OK")
+    report.violations.append(Violation(1, "a", "x", "e", "m"))
+    report.violations.append(Violation(2, "a", "x", "e", "m"))
+    report.violations.append(Violation(3, "b", "y", "e", "m"))
+    report.checks = 7
+    assert not report.ok
+    assert report.count() == 3
+    assert report.count("a") == 2
+    assert report.by_invariant() == {"a": 2, "b": 1}
+    assert "2x a" in report.summary()
+
+
+def test_clean_run_reports_ok_with_many_checks():
+    checker = _small_run()
+    assert checker.report.ok, checker.report.summary()
+    assert checker.report.checks > 100
+
+
+def test_attach_is_idempotent_and_detach_unsubscribes():
+    platform = Platform.full(seed=4)
+    kernel = Kernel(platform)
+    checker = InvariantChecker(kernel)
+    checker.attach()
+    n_subs = len(checker._subscriptions)
+    checker.attach()
+    assert len(checker._subscriptions) == n_subs
+    checker.detach()
+    assert not checker._subscriptions
+    assert not kernel.smp.log._subscribers
+
+
+def test_strict_mode_raises_on_first_violation():
+    work = build_workload("mixed", 0)
+    scenario("ipi-drop").build_plan(work.platform.sim)
+    checker = InvariantChecker(work.kernel, strict=True).attach()
+    with pytest.raises(CheckViolation) as exc:
+        work.platform.sim.run(until=work.horizon_ns)
+    assert exc.value.violation is checker.report.violations[0]
+    assert exc.value.violation.invariant == "shootdown_liveness"
+
+
+def test_violation_cap_bounds_the_report():
+    report = CheckReport(max_violations=2)
+    assert report.max_violations == 2

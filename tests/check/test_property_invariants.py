@@ -1,0 +1,122 @@
+"""Property tests: the checked invariants hold under randomized workloads.
+
+No faults are injected here — these runs assert that the checker's
+machine-readable statements of the paper's guarantees (vruntime
+monotonicity, balloon exclusivity, loan and energy conservation, vstate
+restore) hold across random task mixes, random sandbox interleavings and
+random multi-device schedules, and that the checker itself raises no
+false positives on healthy runs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import App
+from repro.check import InvariantChecker
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, SendPacket, Sleep, SubmitAccel
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, from_usec
+
+cpu_specs = st.lists(
+    st.tuples(
+        st.floats(0.3e6, 6e6),       # burst cycles
+        st.integers(50, 2000),       # pause us
+        st.booleans(),               # sandboxed?
+    ),
+    min_size=2,
+    max_size=4,
+)
+
+
+def _boot(seed):
+    platform = Platform.full(seed=seed)
+    return platform, Kernel(platform)
+
+
+def _cpu_app(kernel, name, burst, pause_us):
+    app = App(kernel, name)
+
+    def behavior():
+        while True:
+            yield Compute(burst)
+            app.count("work", 1)
+            yield Sleep(from_usec(pause_us))
+
+    app.spawn(behavior())
+    return app
+
+
+def _checked_run(platform, kernel, horizon):
+    checker = InvariantChecker(kernel).attach()
+    platform.sim.run(until=horizon)
+    return checker
+
+
+@given(st.integers(0, 10_000), cpu_specs)
+@settings(max_examples=10, deadline=None)
+def test_vruntime_monotone_and_loans_conserved_under_random_mixes(seed, specs):
+    platform, kernel = _boot(seed)
+    for i, (burst, pause_us, sandboxed) in enumerate(specs):
+        app = _cpu_app(kernel, "app{}".format(i), burst, pause_us)
+        if sandboxed:
+            app.create_psbox(("cpu",)).enter()
+    checker = _checked_run(platform, kernel, 300 * MSEC)
+    assert checker.report.ok, checker.report.summary()
+    assert checker.report.checks > 0
+
+
+@given(
+    st.integers(0, 10_000),
+    st.lists(st.integers(10, 60), min_size=2, max_size=6),
+)
+@settings(max_examples=10, deadline=None)
+def test_balloon_exclusivity_under_random_enter_leave(seed, dwell_ms):
+    platform, kernel = _boot(seed)
+    boxed = _cpu_app(kernel, "boxed", 4e6, 150)
+    _cpu_app(kernel, "rival.a", 3e6, 200)
+    _cpu_app(kernel, "rival.b", 2.5e6, 400)
+    box = boxed.create_psbox(("cpu",))
+    t = 10 * MSEC
+    entering = True
+    for dwell in dwell_ms:
+        platform.sim.at(t, box.enter if entering else box.leave)
+        entering = not entering
+        t += dwell * MSEC
+    checker = _checked_run(platform, kernel, t + 50 * MSEC)
+    assert checker.report.ok, checker.report.summary()
+    assert checker.report.checks > 0
+
+
+@given(st.integers(0, 10_000), st.booleans(), st.booleans())
+@settings(max_examples=8, deadline=None)
+def test_energy_conservation_under_random_device_schedules(
+    seed, use_gpu, use_net
+):
+    platform, kernel = _boot(seed)
+    boxed = _cpu_app(kernel, "boxed", 4e6, 150)
+    boxed.create_psbox(("cpu",)).enter()
+    _cpu_app(kernel, "rival", 3e6, 250)
+    if use_gpu:
+        gfx = App(kernel, "gfx")
+
+        def gpu_behavior():
+            while True:
+                yield SubmitAccel("gpu", "draw", 2e6, 0.6, wait=True)
+                yield Sleep(from_usec(500))
+
+        gfx.spawn(gpu_behavior())
+        gfx.create_psbox(("gpu",)).enter()
+    if use_net:
+        net = App(kernel, "net")
+
+        def net_behavior():
+            while True:
+                yield SendPacket(24_000, wait=True)
+                yield Sleep(from_usec(2000))
+
+        net.spawn(net_behavior())
+        net.create_psbox(("wifi",)).enter()
+    checker = _checked_run(platform, kernel, 300 * MSEC)
+    assert checker.report.ok, checker.report.summary()
+    assert checker.report.checks > 0

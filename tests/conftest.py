@@ -1,0 +1,36 @@
+"""Repo-wide fixtures: the seeded-RNG policy.
+
+Test randomness must be reproducible and centrally controlled, so every
+test that wants random data takes the ``rng`` fixture instead of calling
+``np.random.default_rng`` with an ad-hoc seed.  All streams derive from
+one session seed (``PSBOX_TEST_SEED``, default 0) through the simulator's
+own :class:`~repro.sim.rng.RngRegistry`, keyed by the test's node id — so
+each test's stream is independent, stable across unrelated changes, and
+the whole suite replays at another seed with::
+
+    PSBOX_TEST_SEED=7 pytest
+"""
+
+import os
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture(scope="session")
+def test_seed():
+    """The session's base seed (override with ``PSBOX_TEST_SEED=n``)."""
+    return int(os.environ.get("PSBOX_TEST_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def rng_registry(test_seed):
+    """Named independent streams rooted at the session seed."""
+    return RngRegistry(test_seed)
+
+
+@pytest.fixture
+def rng(rng_registry, request):
+    """A ``numpy.random.Generator`` unique and stable per test."""
+    return rng_registry.fresh(request.node.nodeid)

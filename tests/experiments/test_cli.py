@@ -1,8 +1,25 @@
 """Tests for the `python -m repro.experiments` CLI."""
 
+import importlib
+import os
+
 import pytest
 
 from repro.experiments.__main__ import EXPERIMENTS, main
+
+#: every subcommand and the driver module backing it
+DRIVER_MODULES = {
+    "fig3": "repro.experiments.fig3",
+    "fig6": "repro.experiments.fig6",
+    "fig7": "repro.experiments.fig7",
+    "fig8": "repro.experiments.fig8",
+    "fig9": "repro.experiments.fig9",
+    "sec62": "repro.experiments.sec62",
+    "sec63": "repro.experiments.sec63",
+    "sidechannel": "repro.experiments.sidechannel_exp",
+    "powercap": "repro.experiments.powercap_exp",
+    "faults": "repro.experiments.faults_exp",
+}
 
 
 def test_list_prints_registry(capsys):
@@ -23,10 +40,14 @@ def test_unknown_experiment_errors():
 
 
 def test_registry_covers_every_eval_section():
-    assert set(EXPERIMENTS) == {
-        "fig3", "fig6", "fig7", "fig8", "fig9",
-        "sec62", "sec63", "sidechannel", "powercap",
-    }
+    assert set(EXPERIMENTS) == set(DRIVER_MODULES)
+
+
+@pytest.mark.parametrize("name", sorted(DRIVER_MODULES))
+def test_driver_module_imports(name):
+    """Every registered subcommand's driver imports cleanly."""
+    module = importlib.import_module(DRIVER_MODULES[name])
+    assert module is not None
 
 
 def test_run_one_experiment(capsys):
@@ -34,3 +55,12 @@ def test_run_one_experiment(capsys):
     out = capsys.readouterr().out
     assert "browser" in out
     assert "triangle" in out
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_run_every_experiment(name, capsys):
+    """Full smoke over every subcommand (slow; nightly CI sets the gate)."""
+    if not os.environ.get("PSBOX_SMOKE_ALL"):
+        pytest.skip("set PSBOX_SMOKE_ALL=1 to smoke-run every experiment")
+    assert main([name]) == 0
+    assert name in capsys.readouterr().out

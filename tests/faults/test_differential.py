@@ -1,0 +1,64 @@
+"""Differential bit-identity tests.
+
+The fault layer's core promise: a disabled (or absent) plan leaves every
+run bit-identical to a build without the layer.  These tests fingerprint
+whole runs — rail traces, event logs, task end states, observation
+windows — and require exact digest equality.
+"""
+
+import pytest
+
+from repro.check import InvariantChecker
+from repro.experiments.faults_exp import build_workload
+from repro.faults import SCENARIOS, TaskCrashInjector, fingerprint, scenario
+
+
+def _run(workload, seed=0, scn=None, inject=False, check=False):
+    work = build_workload(workload, seed)
+    plan = None
+    if scn is not None:
+        plan = scn.build_plan(work.platform.sim, enabled=inject)
+        if any(site == TaskCrashInjector.SITE
+               for site, _kind, _p in scn.faults):
+            TaskCrashInjector(work.kernel, work.crash_targets).start()
+    checker = None
+    if check:
+        checker = InvariantChecker(work.kernel).attach()
+        if work.controller is not None:
+            checker.watch_powercap(work.controller)
+    work.platform.sim.run(until=work.horizon_ns)
+    return fingerprint(work.platform, work.kernel), plan, checker
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    """Fingerprints of both workloads with no fault plan at all."""
+    return {name: _run(name)[0] for name in ("mixed", "powercap")}
+
+
+@pytest.mark.parametrize("scn", SCENARIOS, ids=[s.name for s in SCENARIOS])
+def test_disabled_scenario_is_bit_identical_to_no_plan(scn, baselines):
+    print_, plan, _checker = _run(scn.workload, scn=scn, inject=False)
+    assert print_ == baselines[scn.workload]
+    assert plan.injections() == 0
+
+
+def test_attached_checker_does_not_perturb_the_run(baselines):
+    print_, _plan, checker = _run("mixed", check=True)
+    assert print_ == baselines["mixed"]
+    assert checker.report.ok
+    assert checker.report.checks > 0
+
+
+def test_injected_run_is_reproducible_at_a_seed():
+    scn = scenario("ipi-delay")
+    first, plan1, _ = _run("mixed", scn=scn, inject=True)
+    second, plan2, _ = _run("mixed", scn=scn, inject=True)
+    assert first == second
+    assert plan1.injections() == plan2.injections() > 0
+
+
+def test_injected_run_differs_from_baseline(baselines):
+    print_, plan, _ = _run("mixed", scn=scenario("ipi-delay"), inject=True)
+    assert plan.injections() > 0
+    assert print_ != baselines["mixed"]

@@ -1,0 +1,90 @@
+"""Tests of the task-crash injector and of Task.crash itself."""
+
+from repro.apps.base import App
+from repro.faults import FaultPlan, TaskCrashInjector
+from repro.hw.platform import Platform
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.kernel import Kernel
+from repro.sim.clock import MSEC, SEC, from_msec, from_usec
+
+
+def _spinner_app(kernel, name="victim"):
+    app = App(kernel, name)
+
+    def factory():
+        def behavior():
+            while True:
+                yield Compute(3e6)
+                app.count("work", 1)
+                yield Sleep(from_usec(200))
+
+        return behavior()
+
+    app.spawn(factory())
+    return app, factory
+
+
+def _boot(seed=5):
+    platform = Platform.full(seed=seed)
+    return platform, Kernel(platform)
+
+
+def test_crashes_and_respawns_tasks():
+    platform, kernel = _boot()
+    app, factory = _spinner_app(kernel)
+    plan = FaultPlan(platform.sim).install()
+    plan.add("task.crash", "crash", interval_ns=from_msec(50),
+             extra_ns=from_msec(5), limit=4)
+    injector = TaskCrashInjector(kernel, [(app, factory)]).start()
+    platform.sim.run(until=SEC)
+    assert injector.crashes >= 1
+    assert len(app.tasks) == 1 + injector.crashes   # one respawn per crash
+    assert sum(1 for task in app.tasks if not task.alive) >= injector.crashes
+    assert any(task.alive for task in app.tasks)    # app survived the abuse
+    assert plan.injections("task.crash") == injector.crashes
+
+
+def test_inert_without_enabled_crash_spec():
+    platform, kernel = _boot()
+    app, factory = _spinner_app(kernel)
+    plan = FaultPlan(platform.sim, enabled=False).install()
+    plan.add("task.crash", "crash", interval_ns=from_msec(50))
+    injector = TaskCrashInjector(kernel, [(app, factory)]).start()
+    platform.sim.run(until=200 * MSEC)
+    assert injector.crashes == 0
+    assert len(app.tasks) == 1
+
+
+def test_inert_without_any_plan():
+    platform, kernel = _boot()
+    app, factory = _spinner_app(kernel)
+    injector = TaskCrashInjector(kernel, [(app, factory)]).start()
+    platform.sim.run(until=200 * MSEC)
+    assert injector.crashes == 0
+    assert len(app.tasks) == 1
+
+
+def test_crash_before_deferred_start_is_safe():
+    platform, kernel = _boot()
+    app, _factory = _spinner_app(kernel)
+    task = app.tasks[0]
+    task.crash()            # spawn defers start(); crash beats it to the punch
+    platform.sim.run(until=10 * MSEC)
+    assert not task.alive
+    assert app.counters.get("work", 0) == 0
+
+
+def test_crash_mid_burst_releases_the_core():
+    platform, kernel = _boot()
+    app, _factory = _spinner_app(kernel)
+    other, _ = _spinner_app(kernel, name="survivor")
+    platform.sim.run(until=2 * MSEC)          # let the burst get on a core
+    task = app.tasks[0]
+    assert task.alive
+    task.crash()
+    assert not any(
+        core.owner_id == app.id for core in platform.cpu.cores
+    )
+    before = other.counters.get("work", 0)
+    platform.sim.run(until=300 * MSEC)
+    assert other.counters.get("work", 0) > before   # the core still schedules

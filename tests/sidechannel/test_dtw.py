@@ -85,8 +85,7 @@ def test_wider_window_never_increases_distance(a, b, w):
     assert wide <= narrow + 1e-9
 
 
-def test_matches_bruteforce_dp_reference():
-    rng = np.random.default_rng(0)
+def test_matches_bruteforce_dp_reference(rng):
     for _ in range(10):
         a = rng.normal(size=rng.integers(2, 12))
         b = rng.normal(size=rng.integers(2, 12))
