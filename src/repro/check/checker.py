@@ -132,6 +132,13 @@ class InvariantChecker:
                               message)
         if len(self.report.violations) < self.report.max_violations:
             self.report.violations.append(violation)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.tracer.instant("violation." + invariant, cat="check",
+                               track="check", component=component,
+                               event=event, message=message)
+            obs.metrics.inc("check.violations")
+            obs.metrics.inc("check.violations." + invariant)
         if self.strict:
             raise CheckViolation(violation)
 

@@ -5,12 +5,19 @@ Regenerate the paper's figures/tables without pytest::
     python -m repro.experiments fig3 fig6 fig8
     python -m repro.experiments all
     python -m repro.experiments --list
+
+Observability (``repro.obs``) rides along on any run::
+
+    python -m repro.experiments fig6 --trace fig6.json      # Perfetto/Chrome
+    python -m repro.experiments fig6 --metrics metrics.json # counters etc.
+    python -m repro.experiments fig6 --profile              # host hotspots
 """
 
 import argparse
 import sys
 
 from repro.analysis.report import format_series, format_table
+from repro.obs import runtime as obs_runtime
 
 
 def run_fig3():
@@ -199,6 +206,16 @@ def main(argv=None):
                         help="experiments to run, or 'all'")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome/Perfetto trace-event JSON file "
+                             "covering every simulator the run boots")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="write a metrics snapshot (JSON) and print the "
+                             "merged table")
+    parser.add_argument("--profile", nargs="?", const=12, type=int,
+                        metavar="N",
+                        help="profile the event loop on the host clock and "
+                             "print the top N handler callsites (default 12)")
     args = parser.parse_args(argv)
 
     if args.list or not args.names:
@@ -208,12 +225,49 @@ def main(argv=None):
     for name in names:
         if name not in EXPERIMENTS:
             parser.error("unknown experiment {!r} (try --list)".format(name))
-        print("#" * 72)
-        print("# {}".format(name))
-        print("#" * 72)
-        EXPERIMENTS[name]()
-        print()
+
+    observing = bool(args.trace or args.metrics or args.profile is not None)
+    if observing:
+        obs_runtime.configure(
+            tracing=args.trace is not None,
+            metrics=True,
+            profiling=args.profile is not None,
+        )
+    try:
+        for name in names:
+            obs_runtime.set_label_prefix(name)
+            print("#" * 72)
+            print("# {}".format(name))
+            print("#" * 72)
+            EXPERIMENTS[name]()
+            print()
+        if observing:
+            _export_observability(args)
+    finally:
+        obs_runtime.reset()
     return 0
+
+
+def _export_observability(args):
+    from repro.obs import (
+        export_chrome_trace,
+        export_metrics,
+        format_metrics_table,
+        metrics_snapshot,
+    )
+
+    sessions = obs_runtime.sessions()
+    if args.trace:
+        count = export_chrome_trace(sessions, args.trace)
+        print("trace: {} events from {} sessions -> {}".format(
+            count, len(sessions), args.trace))
+    if args.metrics:
+        export_metrics(sessions, args.metrics)
+        print("metrics snapshot -> {}".format(args.metrics))
+        print(format_metrics_table(metrics_snapshot(sessions)))
+    profiler = obs_runtime.profiler()
+    if args.profile is not None and profiler is not None:
+        print(profiler.format_table(args.profile))
 
 
 if __name__ == "__main__":

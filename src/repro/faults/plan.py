@@ -152,6 +152,12 @@ class FaultPlan:
     def _record(self, spec, **payload):
         self.log.log(self.sim.now, "inject", site=spec.site, fault=spec.kind,
                      **payload)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.tracer.instant("inject." + spec.site, cat="fault",
+                               track="faults", kind=spec.kind, **payload)
+            obs.metrics.inc("faults.injections")
+            obs.metrics.inc("faults.injections." + spec.site)
 
     def _draw_ns(self, spec):
         extra = spec.extra_ns

@@ -47,6 +47,10 @@ class PowerMeter:
         if plan is not None:
             watts = plan.sample_noise("meter.sample", watts)
             watts = plan.sample_dropout("meter.sample", watts)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.inc("meter.samples", len(times))
+            obs.metrics.inc("meter.reads")
         return times, watts
 
     def energy(self, rail_name, t0, t1):

@@ -73,6 +73,24 @@ class AccelScheduler:
         self._flush_remaining = 0
         self._fault_hold_until = None
         self._fault_site = name + ".drain"
+        self._phase_span = None   # obs: span of the current balloon phase
+
+    def _obs_phase(self, name, **args):
+        """Close the current balloon-phase span and open the next.
+
+        The drain_others -> serve -> drain_psbox progression becomes a
+        chain of sibling spans on this scheduler's track; passing None just
+        closes the chain (balloon over).
+        """
+        obs = self.sim.obs
+        if obs is None:
+            return
+        obs.tracer.end(self._phase_span)
+        self._phase_span = None
+        if name is not None:
+            self._phase_span = obs.tracer.begin(
+                name, cat="balloon", track=self.name, detached=True, **args
+            )
 
     def _fault_held(self):
         """True while an injected stall pins the current drain transition.
@@ -110,6 +128,9 @@ class AccelScheduler:
         command.on_complete = self._completion_wrapper(command, on_complete)
         self._queue_for(app).pending.append(command)
         self.log.log(self.sim.now, "submit", app=app.id, seq=command.seq)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.inc(self.name + ".submitted")
         self._pump()
         return command
 
@@ -145,6 +166,7 @@ class AccelScheduler:
                 if self._window_open_t is not None:
                     self._close_window()
                 self.state = NORMAL
+                self._obs_phase(None)   # a drain that never opened a window
             self._fault_hold_until = None
             self.psbox_app = None
             self._pump()
@@ -254,6 +276,8 @@ class AccelScheduler:
         if should_yield:
             self.state = DRAIN_PSBOX
             self.log.log(self.sim.now, "drain_psbox", app=self.psbox_app.id)
+            self._obs_phase(self.name + ".drain_psbox",
+                            app=self.psbox_app.id)
             if self.engine.inflight_count == 0:
                 if self._fault_held():
                     return
@@ -270,6 +294,10 @@ class AccelScheduler:
         wait = self.sim.now - command.submit_t
         self.log.log(self.sim.now, "dispatch", app=command.app_id,
                      seq=command.seq, wait=wait)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.inc(self.name + ".dispatched")
+            obs.metrics.observe(self.name + ".dispatch_wait_ns", wait)
         self.engine.dispatch(command)
 
     # -- balloon phase transitions ------------------------------------------------------
@@ -286,6 +314,7 @@ class AccelScheduler:
         self._drain_last_t = self.sim.now
         self._drain_idle_ns = 0.0
         self.log.log(self.sim.now, "drain_others", app=self.psbox_app.id)
+        self._obs_phase(self.name + ".drain_others", app=self.psbox_app.id)
         if self.engine.inflight_count == 0:
             if self._fault_held():
                 return
@@ -310,12 +339,20 @@ class AccelScheduler:
         q.vruntime += self._drain_idle_ns / q.app.weight
         self._drain_last_t = None
         self.state = SERVE
+        obs = self.sim.obs
+        if obs is not None:
+            if self._drain_start_t is not None:
+                obs.metrics.observe(self.name + ".drain_ns",
+                                    self.sim.now - self._drain_start_t)
+            obs.metrics.inc(self.name + ".balloons")
+        self._drain_start_t = None
         self._window_open_t = self.sim.now
         self._window_billed_to = self.sim.now
         self._flush_remaining = len(q.pending)
         if self.state_holder is not None:
             self.state_holder.switch_context(self._ctx_key())
         self.log.log(self.sim.now, "window_open", app=self.psbox_app.id)
+        self._obs_phase(self.name + ".serve", app=self.psbox_app.id)
         for hook in self.balloon_in_hooks:
             hook(self.psbox_app, self.sim.now)
 
@@ -328,6 +365,11 @@ class AccelScheduler:
         if self.state_holder is not None:
             self.state_holder.switch_context("world")
         self.log.log(now, "window_close", app=self.psbox_app.id)
+        obs = self.sim.obs
+        if obs is not None and self._window_open_t is not None:
+            obs.metrics.observe(self.name + ".window_ns",
+                                now - self._window_open_t)
+        self._obs_phase(None)
         for hook in self.balloon_out_hooks:
             hook(self.psbox_app, now)
         self._window_open_t = None

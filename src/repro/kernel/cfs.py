@@ -198,6 +198,9 @@ class CoreScheduler:
         if task is not None:
             self.current_task = task
             task.state = "running"
+            obs = self.sim.obs
+            if obs is not None:
+                obs.metrics.inc("cfs.dispatches")
             self.core.start(candidate.group.app.id, task.work)
         self.current_since = self.sim.now
         self._arm_tick()

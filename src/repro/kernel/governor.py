@@ -90,6 +90,15 @@ class OndemandGovernor:
         # boundary (exactly what repro.check's vstate invariant catches).
         self.log.log(self.sim.now, "switch", key=key, expected=target,
                      actual=self.domain.index)
+        obs = self.sim.obs
+        if obs is not None:
+            track = "governor." + self.domain.name
+            obs.tracer.instant("ctx.switch", cat="governor", track=track,
+                               key=str(key), expected=target,
+                               actual=self.domain.index)
+            obs.tracer.sample("opp." + self.domain.name, track=track,
+                              opp=self.domain.index)
+            obs.metrics.inc("governor.{}.switches".format(self.domain.name))
         state.index = self.domain.index
 
     # -- OPP clamping (powercap actuator hook) -----------------------------------
@@ -176,7 +185,17 @@ class OndemandGovernor:
             if lag > 0:
                 self.sim.call_later(lag, self.domain.set_opp, index)
                 return
+        previous = self.domain.index
         self.domain.set_opp(index)
+        obs = self.sim.obs
+        if obs is not None and self.domain.index != previous:
+            track = "governor." + self.domain.name
+            obs.tracer.instant("opp.transition", cat="governor", track=track,
+                               index=self.domain.index, ctx=str(self.active))
+            obs.tracer.sample("opp." + self.domain.name, track=track,
+                              opp=self.domain.index)
+            obs.metrics.inc("governor.{}.transitions".format(
+                self.domain.name))
 
     def stop(self):
         if self._tick_event is not None:

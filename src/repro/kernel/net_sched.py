@@ -68,8 +68,22 @@ class PacketScheduler:
         self._window_bytes = 0
         self._fault_hold_until = None
         self._fault_site = "net.drain"
+        self._phase_span = None   # obs: span of the current balloon phase
 
         nic.space.subscribe(lambda _nic: self._pump())
+
+    def _obs_phase(self, name, **args):
+        """Balloon-phase span chaining (see AccelScheduler._obs_phase)."""
+        obs = self.sim.obs
+        if obs is None:
+            return
+        obs.tracer.end(self._phase_span)
+        self._phase_span = None
+        if name is not None:
+            self._phase_span = obs.tracer.begin(
+                name, cat="balloon", track=self.nic.name, detached=True,
+                **args
+            )
 
     def _fault_held(self):
         """True while an injected stall pins the current drain transition.
@@ -135,6 +149,7 @@ class PacketScheduler:
             if self._window_open_t is not None:
                 self._close_window()
             self.state = NORMAL
+            self._obs_phase(None)   # a drain that never opened a window
             self._fault_hold_until = None
             self.psbox_app = None
             self._pump()
@@ -232,6 +247,8 @@ class PacketScheduler:
         if should_yield:
             self.state = DRAIN_PSBOX
             self.log.log(self.sim.now, "drain_psbox", app=self.psbox_app.id)
+            self._obs_phase(self.nic.name + ".drain_psbox",
+                            app=self.psbox_app.id)
             if self.nic.is_drained:
                 if self._fault_held():
                     return
@@ -252,6 +269,10 @@ class PacketScheduler:
         wait = self.sim.now - submitted
         self.log.log(self.sim.now, "dispatch", app=packet.app_id,
                      seq=packet.seq, wait=wait)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.inc(self.nic.name + ".dispatched")
+            obs.metrics.observe(self.nic.name + ".dispatch_wait_ns", wait)
         accepted = self.nic.enqueue(packet)
         if not accepted:
             raise RuntimeError("NIC FIFO overflow despite queue limit")
@@ -283,6 +304,8 @@ class PacketScheduler:
             queued_bytes * 8 / self.nic.rate_bps * 1e9
         ) + queued * self.nic.per_packet_overhead
         self.log.log(self.sim.now, "drain_others", app=self.psbox_app.id)
+        self._obs_phase(self.nic.name + ".drain_others",
+                        app=self.psbox_app.id)
         if self.nic.is_drained:
             if self._fault_held():
                 return
@@ -291,6 +314,12 @@ class PacketScheduler:
 
     def _open_window(self):
         buffer = self._buffer_for(self.psbox_app)
+        obs = self.sim.obs
+        if obs is not None:
+            if self._drain_start_t is not None:
+                obs.metrics.observe(self.nic.name + ".drain_ns",
+                                    self.sim.now - self._drain_start_t)
+            obs.metrics.inc(self.nic.name + ".balloons")
         if self._drain_start_t is not None:
             drain = self.sim.now - self._drain_start_t
             idle = max(0, drain - self._drain_busy_est_ns)
@@ -303,6 +332,7 @@ class PacketScheduler:
         if self.state_holder is not None:
             self.state_holder.switch_context(self._ctx_key())
         self.log.log(self.sim.now, "window_open", app=self.psbox_app.id)
+        self._obs_phase(self.nic.name + ".serve", app=self.psbox_app.id)
         for hook in self.balloon_in_hooks:
             hook(self.psbox_app, self.sim.now)
 
@@ -324,6 +354,11 @@ class PacketScheduler:
             self.state_holder.switch_context("world")
         self.log.log(now, "window_close", app=self.psbox_app.id,
                      penalty=penalty)
+        obs = self.sim.obs
+        if obs is not None and self._window_open_t is not None:
+            obs.metrics.observe(self.nic.name + ".window_ns",
+                                now - self._window_open_t)
+        self._obs_phase(None)
         for hook in self.balloon_out_hooks:
             hook(self.psbox_app, now)
         self._window_open_t = None

@@ -53,6 +53,8 @@ class _Coschedule:
         self.started_at = started_at
         self.pending_cores = set()
         self.window_open = None   # time when every core had switched in
+        self.span = None          # obs: the balloon's trace span
+        self.ipi_spans = {}       # obs: core id -> in-flight shootdown span
 
 
 class SmpScheduler:
@@ -285,6 +287,17 @@ class SmpScheduler:
         cosched = _Coschedule(group, self.sim.now)
         self.active_cosched = cosched
         self.log.log(self.sim.now, "cosched_begin", app=group.app.id)
+        obs = self.sim.obs
+        if obs is not None:
+            cosched.span = obs.tracer.begin(
+                "balloon.cpu", cat="balloon", track="smp", app=group.app.id
+            )
+            obs.metrics.inc("smp.balloons")
+            if self.loans_enabled:
+                # The initial scheduling loan is granted at shootdown and
+                # settled by loan redistribution at schedule-out.
+                obs.tracer.instant("loan.grant", cat="loan", track="smp",
+                                   app=group.app.id)
         # The balloon exists from schedule-in: the observation window opens
         # now.  The few microseconds it takes remote cores to honour the IPI
         # are a (tiny, realistic) leak across the boundary.
@@ -299,6 +312,16 @@ class SmpScheduler:
                 sched.forced_entity = entity
                 continue
             cosched.pending_cores.add(sched.core.id)
+            if obs is not None:
+                # One span per shootdown IPI: begins when the IPI is sent,
+                # ends when the remote core honours it (_ipi_arrive).  A
+                # dropped IPI leaves its span open — visibly unfinished in
+                # the exported trace.
+                cosched.ipi_spans[sched.core.id] = obs.tracer.begin(
+                    "ipi.shootdown", cat="balloon", track="smp",
+                    parent=cosched.span, detached=True, core=sched.core.id,
+                )
+                obs.metrics.inc("smp.ipi.sent")
             delay = self.ipi_delay
             if plan is not None:
                 if plan.drops("smp.ipi"):
@@ -318,6 +341,12 @@ class SmpScheduler:
         sched.enqueue(entity)
         sched.reschedule()
         cosched.pending_cores.discard(sched.core.id)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.tracer.end(cosched.ipi_spans.pop(sched.core.id, None))
+            obs.metrics.inc("smp.ipi.arrived")
+            obs.metrics.observe("smp.shootdown_latency_ns",
+                                self.sim.now - cosched.started_at)
 
     def cosched_tick(self, group):
         """Periodic end-of-balloon check (step 4: schedule out when no
@@ -361,6 +390,15 @@ class SmpScheduler:
         self.active_cosched = None
         now = self.sim.now
         self.log.log(now, "cosched_end", app=group.app.id, reason=reason)
+        obs = self.sim.obs
+        if obs is not None:
+            for span in cosched.ipi_spans.values():
+                # A still-open IPI span at schedule-out means the shootdown
+                # never arrived (dropped in transit).
+                obs.tracer.end(span, dropped=True)
+            cosched.ipi_spans.clear()
+            obs.tracer.end(cosched.span, reason=reason)
+            obs.metrics.observe("smp.balloon_ns", now - cosched.started_at)
         if cosched.window_open is not None:
             for hook in self.balloon_out_hooks:
                 hook(group.app, now)
@@ -432,6 +470,12 @@ class SmpScheduler:
             shares.append(share)
         self.log.log(self.sim.now, "loan_redistribution", app=group.app.id,
                      total=total, surcharge=surcharge, shares=shares)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.tracer.instant("loan.settle", cat="loan", track="smp",
+                               app=group.app.id, total=total,
+                               surcharge=surcharge)
+            obs.metrics.observe("smp.loan_total", total)
 
     # -- bandwidth throttling (powercap actuator hook) ---------------------------------
 

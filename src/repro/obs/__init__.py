@@ -1,0 +1,43 @@
+"""repro.obs — unified tracing, metrics, and profiling for the psbox stack.
+
+See docs/OBSERVABILITY.md for the full guide.  The short version:
+
+>>> from repro.obs import Obs
+>>> obs = Obs(platform.sim, label="demo").install()   # before running
+>>> platform.sim.run(until=SEC)
+>>> from repro.obs import export_chrome_trace
+>>> export_chrome_trace([obs], "trace.json")          # open in Perfetto
+
+or, from the command line::
+
+    python -m repro.experiments fig6 --trace t.json --metrics m.json
+"""
+
+from repro.obs.exporters import (
+    chrome_trace_events,
+    export_chrome_trace,
+    export_metrics,
+    format_metrics_table,
+    metrics_snapshot,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import EventLoopProfiler
+from repro.obs.session import Obs, kernel_logs
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "Obs",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EventLoopProfiler",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_metrics",
+    "metrics_snapshot",
+    "format_metrics_table",
+    "kernel_logs",
+]

@@ -1,0 +1,180 @@
+"""Exporters: Chrome trace-event JSON, metrics snapshots, text tables.
+
+The trace exporter emits the Chrome trace-event format (the ``traceEvents``
+array form), which Perfetto, ``chrome://tracing``, and Speedscope all open
+directly.  Spans become async begin/end pairs (``ph: "b"``/``"e"``) grouped
+by the id of their *root* span, which is what renders a balloon's per-core
+IPI shootdowns nested under the balloon span.  Instants become ``"i"``
+events and counter samples become ``"C"`` events (graphed tracks).
+
+One exported file can hold many simulator runs: each :class:`~repro.obs
+.session.Obs` session becomes one trace "process" (pid), and each track
+within it one named "thread" (tid) — so ``python -m repro.experiments fig6
+--trace t.json`` yields a single timeline with every boot of the experiment
+side by side.
+"""
+
+import json
+
+from repro.analysis.report import format_table
+from repro.obs.metrics import MetricsRegistry
+
+
+def _us(t_ns):
+    """Chrome trace timestamps are microseconds; keep ns resolution."""
+    return t_ns / 1000.0
+
+
+def _root_of(span, by_id):
+    """Follow parent links to the span's root (async grouping id)."""
+    seen = set()
+    while span.parent_id is not None and span.parent_id not in seen:
+        seen.add(span.id)
+        parent = by_id.get(span.parent_id)
+        if parent is None:
+            break
+        span = parent
+    return span
+
+
+def chrome_trace_events(sessions):
+    """The ``traceEvents`` list for a set of Obs sessions."""
+    events = []
+    body = []   # (ts_ns, rank, tiebreak, event) — sorted after collection
+    for pid, obs in enumerate(sessions, start=1):
+        tracer = obs.tracer
+        tracks = sorted(
+            {span.track for span in tracer.spans}
+            | {track for _t, track, _n, _c, _a in tracer.instants}
+            | {track for _t, track, _n, _v in tracer.samples}
+        )
+        tids = {track: tid for tid, track in enumerate(tracks, start=1)}
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "ts": 0,
+            "name": "process_name", "args": {"name": obs.label or
+                                             "run-{}".format(pid)},
+        })
+        for track, tid in tids.items():
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid, "ts": 0,
+                "name": "thread_name", "args": {"name": track or "main"},
+            })
+
+        trace_end = obs.sim.now
+        by_id = {span.id: span for span in tracer.spans}
+        for order, span in enumerate(tracer.spans):
+            root = _root_of(span, by_id)
+            cat = root.cat or "span"
+            tid = tids[span.track]
+            begin = {
+                "ph": "b", "cat": cat, "id": root.id, "name": span.name,
+                "pid": pid, "tid": tid, "ts": _us(span.start),
+                "args": dict(span.args),
+            }
+            body.append((span.start, 0, order, begin))
+            end_t = span.end
+            end_args = {}
+            if end_t is None:
+                # Unclosed span (dropped IPI, stuck drain): close it at the
+                # end of the trace and say so — the gap IS the finding.
+                end_t = trace_end
+                end_args["unfinished"] = True
+            end = {
+                "ph": "e", "cat": cat, "id": root.id, "name": span.name,
+                "pid": pid, "tid": tid, "ts": _us(end_t), "args": end_args,
+            }
+            # Ends at the same instant unwind LIFO (children close before
+            # parents), which keeps every async stack properly nested.
+            body.append((end_t, 2, -order, end))
+
+        for order, (t, track, name, cat, args) in enumerate(tracer.instants):
+            body.append((t, 1, order, {
+                "ph": "i", "s": "t", "cat": cat or "event", "name": name,
+                "pid": pid, "tid": tids[track], "ts": _us(t),
+                "args": dict(args),
+            }))
+        for order, (t, track, name, values) in enumerate(tracer.samples):
+            body.append((t, 1, order, {
+                "ph": "C", "name": name, "pid": pid, "tid": tids[track],
+                "ts": _us(t), "args": dict(values),
+            }))
+
+    body.sort(key=lambda item: (item[0], item[1], item[2]))
+    events.extend(event for _t, _r, _o, event in body)
+    return events
+
+
+def export_chrome_trace(sessions, path):
+    """Write one Chrome-trace/Perfetto JSON file covering ``sessions``.
+
+    Returns the number of trace events written.
+    """
+    events = chrome_trace_events(sessions)
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.obs",
+            "sessions": [obs.label for obs in sessions],
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    return len(events)
+
+
+# -- metrics snapshots -------------------------------------------------------------
+
+
+def metrics_snapshot(sessions):
+    """JSON-ready snapshot: per-session metrics plus a merged rollup."""
+    merged = MetricsRegistry()
+    per_session = []
+    for obs in sessions:
+        merged.merge_from(obs.metrics)
+        per_session.append({
+            "label": obs.label,
+            "sim_ns": obs.sim.now,
+            "metrics": obs.metrics.snapshot(),
+            "logs": obs.log_stats(),
+        })
+    return {"sessions": per_session, "merged": merged.snapshot()}
+
+
+def export_metrics(sessions, path):
+    """Write the metrics snapshot as JSON; returns the snapshot dict."""
+    snap = metrics_snapshot(sessions)
+    with open(path, "w") as handle:
+        json.dump(snap, handle, indent=2, sort_keys=True)
+    return snap
+
+
+def format_metrics_table(snapshot):
+    """Aligned-text rendering of a merged metrics snapshot."""
+    merged = snapshot.get("merged", snapshot)
+    rows = []
+    for name, value in merged["counters"].items():
+        rows.append([name, "counter", str(value), "", ""])
+    for name, gauge in merged["gauges"].items():
+        rows.append([
+            name, "gauge", _fmt(gauge["value"]),
+            _fmt(gauge["min"]), _fmt(gauge["max"]),
+        ])
+    for name, hist in merged["histograms"].items():
+        rows.append([
+            name, "histogram",
+            "n={} mean={}".format(hist["count"], _fmt(hist["mean"])),
+            _fmt(hist["min"]), _fmt(hist["max"]),
+        ])
+    if not rows:
+        return "(no metrics recorded)"
+    return format_table(["metric", "kind", "value", "min", "max"], rows,
+                        title="metrics snapshot")
+
+
+def _fmt(value):
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        return "{:.6g}".format(value)
+    return str(value)

@@ -1,0 +1,75 @@
+"""Host-side wall-clock profiler for the simulator's event loop.
+
+Everything else in ``repro.obs`` measures *virtual* time; this measures the
+real seconds the Python process spends inside each event-handler callsite.
+The simulator times every dispatched event with ``time.perf_counter`` when a
+profiler is installed (``sim.profile``), and the profiler aggregates by the
+handler's ``module.qualname`` — which is exactly the granularity you need to
+decide which kernel hot path to optimize next.
+
+Like the tracer, the profiler is outside the simulation: it changes no
+virtual-time behaviour (runs stay bit-identical), it only costs wall clock.
+"""
+
+from repro.analysis.report import format_table
+
+
+class EventLoopProfiler:
+    """Aggregates wall-clock time per event-handler callsite."""
+
+    __slots__ = ("stats", "events", "total_s")
+
+    def __init__(self):
+        self.stats = {}      # callsite -> [calls, seconds]
+        self.events = 0
+        self.total_s = 0.0
+
+    def install(self, sim):
+        """Attach to a simulator (``sim.profile``); returns self."""
+        sim.profile = self
+        return self
+
+    def record(self, fn, elapsed_s):
+        """One dispatched event: ``fn`` ran for ``elapsed_s`` wall seconds."""
+        key = callsite(fn)
+        entry = self.stats.get(key)
+        if entry is None:
+            entry = self.stats[key] = [0, 0.0]
+        entry[0] += 1
+        entry[1] += elapsed_s
+        self.events += 1
+        self.total_s += elapsed_s
+
+    def top(self, n=10):
+        """The ``n`` hottest callsites: (callsite, calls, seconds), by
+        cumulative wall time."""
+        ranked = sorted(
+            self.stats.items(), key=lambda item: item[1][1], reverse=True
+        )
+        return [(key, calls, seconds)
+                for key, (calls, seconds) in ranked[:n]]
+
+    def format_table(self, n=10):
+        rows = []
+        for key, calls, seconds in self.top(n):
+            share = 100.0 * seconds / self.total_s if self.total_s else 0.0
+            mean_us = 1e6 * seconds / calls if calls else 0.0
+            rows.append([
+                key, str(calls), "{:.4f}".format(seconds),
+                "{:.1f}".format(mean_us), "{:.1f}%".format(share),
+            ])
+        title = ("event-loop profile — {} events, {:.3f} s wall"
+                 .format(self.events, self.total_s))
+        if not rows:
+            return title + " (no events profiled)"
+        return format_table(
+            ["handler", "calls", "total s", "mean us", "share"], rows,
+            title=title,
+        )
+
+
+def callsite(fn):
+    """A stable ``module.qualname`` label for an event handler."""
+    module = getattr(fn, "__module__", None) or "?"
+    qualname = getattr(fn, "__qualname__", None) or repr(fn)
+    return "{}.{}".format(module, qualname)

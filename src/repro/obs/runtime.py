@@ -1,0 +1,75 @@
+"""Process-global observability wiring for the experiment CLI.
+
+The experiment drivers boot many independent simulators per figure; this
+module is how one ``--trace``/``--metrics``/``--profile`` invocation reaches
+all of them without threading a parameter through every driver.  The CLI
+calls :func:`configure` once; :func:`install` — called by
+``repro.experiments.common.boot`` on every fresh simulator — then attaches
+an :class:`~repro.obs.session.Obs` session (and the shared wall-clock
+profiler) to each run.  With nothing configured, ``install`` is a no-op and
+experiments behave exactly as before.
+"""
+
+from repro.obs.profiler import EventLoopProfiler
+from repro.obs.session import Obs
+
+_config = None       # dict of configure() kwargs, or None (inactive)
+_sessions = []       # Obs sessions in boot order
+_profiler = None     # one EventLoopProfiler shared across runs
+_label_prefix = ""
+_label_counts = {}
+
+
+def configure(tracing=False, metrics=True, profiling=False):
+    """Arm observability for every simulator booted from now on."""
+    global _config
+    _config = {"tracing": tracing, "metrics": metrics,
+               "profiling": profiling}
+
+
+def is_active():
+    return _config is not None
+
+
+def set_label_prefix(prefix):
+    """Label subsequent sessions ``<prefix>:<n>`` (one per experiment)."""
+    global _label_prefix
+    _label_prefix = prefix
+
+
+def install(sim, kernel=None, label=""):
+    """Attach a session to a fresh simulator; returns it (or None)."""
+    if _config is None:
+        return None
+    global _profiler
+    if not label:
+        n = _label_counts.get(_label_prefix, 0) + 1
+        _label_counts[_label_prefix] = n
+        label = "{}:{}".format(_label_prefix or "run", n)
+    obs = Obs(sim, label=label, tracing=_config["tracing"]).install()
+    if kernel is not None:
+        obs.bind_kernel(kernel)
+    _sessions.append(obs)
+    if _config["profiling"]:
+        if _profiler is None:
+            _profiler = EventLoopProfiler()
+        _profiler.install(sim)
+    return obs
+
+
+def sessions():
+    return list(_sessions)
+
+
+def profiler():
+    return _profiler
+
+
+def reset():
+    """Disarm and forget everything (the CLI's finally-block)."""
+    global _config, _profiler, _label_prefix
+    _config = None
+    _profiler = None
+    _label_prefix = ""
+    _sessions.clear()
+    _label_counts.clear()

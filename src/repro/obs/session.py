@@ -1,0 +1,79 @@
+"""The observability session: one tracer + one metrics registry per run.
+
+Installing a session (``Obs(sim).install()``) publishes it as ``sim.obs``,
+the single attribute every instrumentation point in the kernel, hardware,
+powercap, fault, and checker layers consults.  No session installed means
+every one of those points is a read-and-branch — the disabled-hook cost the
+differential tests and the BENCH_obs benchmark bound.
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def kernel_logs(kernel):
+    """Every EventTrace log a kernel owns (the fingerprint set)."""
+    logs = []
+    if kernel.smp is not None:
+        logs.append(kernel.smp.log)
+    for sched in (kernel.gpu_sched, kernel.dsp_sched):
+        if sched is not None:
+            logs.append(sched.log)
+            logs.append(sched.engine.log)
+    for sched in (kernel.net_sched, kernel.lte_sched):
+        if sched is not None:
+            logs.append(sched.log)
+            logs.append(sched.nic.log)
+    for governor in (kernel.cpu_governor, kernel.gpu_governor):
+        if governor is not None:
+            logs.append(governor.log)
+    return logs
+
+
+class Obs:
+    """One run's observability context (tracing + metrics)."""
+
+    def __init__(self, sim, label="", tracing=True):
+        self.sim = sim
+        self.label = label
+        self.tracer = Tracer(sim)
+        self.tracer.enabled = tracing
+        self.metrics = MetricsRegistry()
+        self.kernel = None
+
+    def install(self):
+        """Publish as ``sim.obs``; returns self."""
+        self.sim.obs = self
+        return self
+
+    def uninstall(self):
+        if getattr(self.sim, "obs", None) is self:
+            self.sim.obs = None
+
+    def bind_kernel(self, kernel):
+        """Remember the kernel so snapshots can report its log health."""
+        self.kernel = kernel
+        return self
+
+    def log_stats(self):
+        """Retention/drop stats of the bound kernel's event logs."""
+        stats = {}
+        if self.kernel is not None:
+            for log in kernel_logs(self.kernel):
+                stats[log.name] = {
+                    "retained": len(log),
+                    "dropped": log.dropped,
+                }
+        plan = getattr(self.sim, "faults", None)
+        if plan is not None:
+            stats[plan.log.name] = {
+                "retained": len(plan.log),
+                "dropped": plan.log.dropped,
+            }
+        return stats
+
+    def snapshot(self):
+        """Metrics plus log health, JSON-ready."""
+        snap = self.metrics.snapshot()
+        snap["logs"] = self.log_stats()
+        return snap

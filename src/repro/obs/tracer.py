@@ -1,0 +1,205 @@
+"""Span-based tracing over virtual time.
+
+A :class:`Span` is a named interval of *simulation* time with a category, a
+display track, structured arguments, and an optional parent — the causal
+structure the exporters turn into a Chrome-trace/Perfetto timeline.  Three
+properties make the tracer safe to leave in kernel code:
+
+* **read-only** — the tracer never schedules events and never draws RNG, so
+  an enabled tracer observes a run without perturbing it (the differential
+  tests assert bit-identical fingerprints with tracing on, off, and absent);
+* **zero-cost when off** — components guard every hook with
+  ``obs = self.sim.obs`` / ``if obs is not None``; with no session installed
+  an instrumentation point is one attribute read and a branch;
+* **causally linked across events** — scheduling an event while a span is
+  current stamps that span onto the event (see ``Simulator._push``), so a
+  span begun in one event handler is the parent of spans begun in the
+  continuation, even though the event loop unwound in between.  This is how
+  an IPI-shootdown span begun at ``begin_coschedule`` parents the per-core
+  arrival work that runs microseconds later.
+
+Span lifetimes are explicit: ``begin`` returns a handle, ``end`` closes it.
+Spans that never close (a dropped shootdown IPI, a drain that never
+converges) stay open and are flagged ``unfinished`` by the exporter — an
+unclosed span *is* the story of a liveness bug.
+"""
+
+import itertools
+
+
+class Span:
+    """One open or closed interval of virtual time."""
+
+    __slots__ = ("id", "parent_id", "name", "cat", "track", "start", "end",
+                 "args")
+
+    def __init__(self, span_id, parent_id, name, cat, track, start, args):
+        self.id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.start = start
+        self.end = None
+        self.args = args
+
+    @property
+    def closed(self):
+        return self.end is not None
+
+    @property
+    def duration(self):
+        """Span length in ns (None while still open)."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def __repr__(self):
+        state = "[{}..{}]".format(self.start, self.end) if self.closed \
+            else "[{}..".format(self.start)
+        return "Span({}, {!r}, {})".format(self.id, self.name, state)
+
+
+class Tracer:
+    """Collects spans, instant events, and counter samples for one run.
+
+    The *current* span — the innermost span begun in this event cascade, or
+    the span inherited from the event that scheduled this cascade — becomes
+    the default parent of new spans and is what the simulator stamps onto
+    newly scheduled events.  ``begin(detached=True)`` creates a span without
+    making it current, for bookkeeping spans (per-core IPIs, balloon phases)
+    whose handle the component threads through its own state instead.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.enabled = True
+        self.spans = []       # every Span, in begin order (closed in place)
+        self.instants = []    # (t, track, name, cat, args)
+        self.samples = []     # (t, track, name, values) counter-track points
+        self._ids = itertools.count(1)
+        self._stack = []      # spans begun (scoped) in the current cascade
+        self._event_ctx = None   # span inherited from the scheduling context
+
+    # -- the current-span context ------------------------------------------------
+
+    @property
+    def current(self):
+        """The span new work should attach to, or None."""
+        if self._stack:
+            return self._stack[-1]
+        return self._event_ctx
+
+    def _enter_event(self, ctx):
+        """Called by the simulator before dispatching an event."""
+        self._event_ctx = ctx
+        if self._stack:
+            # A previous handler left scoped spans open: they stay open (the
+            # owner holds their handles) but must not leak as parents into
+            # an unrelated event cascade.
+            self._stack = []
+
+    def _exit_event(self):
+        """Called by the simulator after an event handler returns."""
+        self._event_ctx = None
+        if self._stack:
+            self._stack = []
+
+    # -- spans ---------------------------------------------------------------------
+
+    def begin(self, name, cat="", track="", parent=None, detached=False,
+              **args):
+        """Open a span at the current virtual time; returns its handle.
+
+        ``parent`` overrides the current span as the causal parent.
+        ``detached`` skips the current-span stack: the span exists and has a
+        parent, but does not capture subsequently begun spans or scheduled
+        events.  Returns None (a no-op handle) when tracing is disabled.
+        """
+        if not self.enabled:
+            return None
+        if parent is None:
+            parent = self.current
+        span = Span(
+            next(self._ids),
+            parent.id if parent is not None else None,
+            name, cat, track or (parent.track if parent is not None else ""),
+            self.sim.now, args,
+        )
+        self.spans.append(span)
+        if not detached:
+            self._stack.append(span)
+        return span
+
+    def end(self, span, **args):
+        """Close a span (args merge into the span's); None is a no-op."""
+        if span is None or span.end is not None:
+            return
+        span.end = self.sim.now
+        if args:
+            span.args.update(args)
+        if self._stack and span in self._stack:
+            self._stack.remove(span)
+
+    def span(self, name, cat="", track="", **args):
+        """Context manager: a scoped span around a synchronous block."""
+        return _ScopedSpan(self, name, cat, track, args)
+
+    # -- instants and counter samples ---------------------------------------------
+
+    def instant(self, name, cat="", track="", **args):
+        """Record a zero-duration event at the current virtual time."""
+        if not self.enabled:
+            return
+        if not track:
+            current = self.current
+            if current is not None:
+                track = current.track
+        self.instants.append((self.sim.now, track, name, cat, args))
+
+    def sample(self, name, track="", **values):
+        """Record a counter-track sample (rendered as a graph in Perfetto)."""
+        if not self.enabled:
+            return
+        self.samples.append((self.sim.now, track, name, values))
+
+    # -- introspection --------------------------------------------------------------
+
+    def open_spans(self):
+        return [span for span in self.spans if not span.closed]
+
+    def find(self, name=None, cat=None):
+        """Closed-or-open spans matching a name and/or category."""
+        return [
+            span for span in self.spans
+            if (name is None or span.name == name)
+            and (cat is None or span.cat == cat)
+        ]
+
+    def children_of(self, span):
+        return [s for s in self.spans if s.parent_id == span.id]
+
+    def __len__(self):
+        return len(self.spans)
+
+
+class _ScopedSpan:
+    __slots__ = ("_tracer", "_name", "_cat", "_track", "_args", "_span")
+
+    def __init__(self, tracer, name, cat, track, args):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._track = track
+        self._args = args
+        self._span = None
+
+    def __enter__(self):
+        self._span = self._tracer.begin(
+            self._name, cat=self._cat, track=self._track, **self._args
+        )
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        self._tracer.end(self._span)
+        return False

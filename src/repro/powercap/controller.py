@@ -142,6 +142,13 @@ class PowerCapController:
         self.ticks += 1
         cfg = self.config
         dt_s = (t1 - t0) / 1e9
+        obs = self.sim.obs
+        tick_span = None
+        if obs is not None:
+            tick_span = obs.tracer.begin(
+                "powercap.tick", cat="powercap", track="powercap",
+                detached=True, tick=self.ticks)
+            obs.metrics.inc("powercap.ticks")
 
         measured = {}
         demands = {}
@@ -212,9 +219,23 @@ class PowerCapController:
                 t1, binding.node, measured[binding.node], grant, action,
                 state.level,
             )
+            if obs is not None:
+                if action != "hold":
+                    obs.metrics.inc("powercap.actions." + action)
+                node = binding.node
+                obs.metrics.set("powercap.{}.level".format(node), state.level)
+                obs.metrics.set("powercap.{}.grant_w".format(node), grant)
+                obs.metrics.observe("powercap.{}.measured_w".format(node),
+                                    measured[node], weight=dt_s)
         self.telemetry.record(
             t1, root.name, aggregate, root.cap_w, "aggregate", 0.0
         )
+        if obs is not None:
+            obs.metrics.set("powercap.aggregate_w", aggregate)
+            obs.tracer.sample("powercap.aggregate_w", track="powercap",
+                              watts=round(aggregate, 4))
+            obs.tracer.end(tick_span, aggregate_w=round(aggregate, 4),
+                           cap_w=root.cap_w)
 
 
 def _clip(value, lo, hi):

@@ -1,5 +1,7 @@
 """The simulator: clock, event loop, process spawning."""
 
+from time import perf_counter
+
 from repro.sim.events import EventQueue
 from repro.sim.process import Process, Signal
 from repro.sim.rng import RngRegistry
@@ -18,6 +20,16 @@ class Simulator:
         # plan installed those sites are pure reads and the simulation is
         # bit-identical to a build without them.
         self.faults = None
+        # Observability session (:class:`repro.obs.Obs`), or None.  Like
+        # ``faults``, every instrumentation point guards on it, so an
+        # uninstrumented run pays one attribute read per site; the session
+        # itself schedules no events and draws no RNG, so even an installed
+        # one leaves the simulated schedule bit-identical.
+        self.obs = None
+        # Wall-clock profiler (:class:`repro.obs.EventLoopProfiler`), or
+        # None.  Measures host time per event handler; virtual time is
+        # untouched.
+        self.profile = None
 
     @property
     def now(self):
@@ -30,7 +42,7 @@ class Simulator:
             raise ValueError(
                 "cannot schedule at t={} before now={}".format(time, self._now)
             )
-        return self._queue.push(time, fn, args)
+        return self._push(time, fn, args)
 
     def call_later(self, delay, fn, *args):
         """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
@@ -38,7 +50,19 @@ class Simulator:
 
     def call_soon(self, fn, *args):
         """Schedule ``fn(*args)`` at the current instant (after pending ties)."""
-        return self._queue.push(self._now, fn, args)
+        return self._push(self._now, fn, args)
+
+    def _push(self, time, fn, args):
+        event = self._queue.push(time, fn, args)
+        obs = self.obs
+        if obs is not None and obs.tracer.enabled:
+            # Trace-context propagation: the event inherits the span that
+            # is current right now, so a span begun in this handler can
+            # close (and parent children) in the continuation.
+            ctx = obs.tracer.current
+            if ctx is not None:
+                event.ctx = ctx
+        return event
 
     def signal(self, name=""):
         """Create a :class:`Signal` bound to this simulator."""
@@ -62,7 +86,15 @@ class Simulator:
                 break
             event = self._queue.pop()
             self._now = event.time
-            event.fn(*event.args)
+            obs = self.obs
+            if self.profile is None and (obs is None
+                                         or not obs.tracer.enabled):
+                # The fast path also covers an installed session with
+                # tracing off: metrics hooks live inside handlers and need
+                # no per-event bookkeeping, only spans do.
+                event.fn(*event.args)
+            else:
+                self._dispatch(event)
         if until is not None and until > self._now:
             self._now = until
         return self._now
@@ -73,8 +105,29 @@ class Simulator:
         if event is None:
             return False
         self._now = event.time
-        event.fn(*event.args)
+        obs = self.obs
+        if self.profile is None and (obs is None or not obs.tracer.enabled):
+            event.fn(*event.args)
+        else:
+            self._dispatch(event)
         return True
+
+    def _dispatch(self, event):
+        """The observed dispatch path: trace-context resume + profiling."""
+        obs = self.obs
+        tracer = None
+        if obs is not None and obs.tracer.enabled:
+            tracer = obs.tracer
+            tracer._enter_event(event.ctx)
+        profile = self.profile
+        if profile is not None:
+            start = perf_counter()
+            event.fn(*event.args)
+            profile.record(event.fn, perf_counter() - start)
+        else:
+            event.fn(*event.args)
+        if tracer is not None:
+            tracer._exit_event()
 
     def pending(self):
         """Number of live events still queued."""

@@ -13,7 +13,7 @@ class Event:
     lazily when they surface.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "ctx")
 
     def __init__(self, time, seq, fn, args):
         self.time = time
@@ -21,6 +21,10 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Trace context: the span that was current when this event was
+        # scheduled (see repro.obs.tracer).  None unless an observability
+        # session is installed; the simulator stamps it.
+        self.ctx = None
 
     def cancel(self):
         """Prevent this event from firing.  Safe to call more than once."""

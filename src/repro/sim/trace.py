@@ -8,6 +8,7 @@ event.
 """
 
 import bisect
+from collections import deque
 
 import numpy as np
 
@@ -43,7 +44,12 @@ class StepTrace:
 
     def add(self, t, delta):
         """Adjust the signal by ``delta`` from time ``t`` onward."""
-        self.set(t, self.value_at(t) + delta)
+        # Appends dominate (set() forbids t < last anyway), and for them the
+        # value at t IS the last value — skip value_at's bisect entirely.
+        if t >= self._times[-1]:
+            self.set(t, self._values[-1] + delta)
+        else:
+            self.set(t, self.value_at(t) + delta)
 
     def value_at(self, t):
         """Signal value at time ``t`` (right-continuous)."""
@@ -118,14 +124,29 @@ class EventTrace:
     Records are (time, kind, payload) tuples; ``payload`` is a dict.  Used
     for scheduling decisions, command dispatch/completion, packet activity —
     anything the experiments later need to slice.
+
+    With ``capacity`` set the log becomes a bounded ring: the oldest records
+    are evicted once ``capacity`` is reached and ``dropped`` counts the
+    evictions, so long soak runs hold memory constant while analysis code
+    can still see (and surface as a metric) how much history it lost.
+    Subscribers always see every record — eviction only limits retention.
     """
 
-    def __init__(self, name=""):
+    def __init__(self, name="", capacity=None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("trace capacity must be >= 1 (or None)")
         self.name = name
-        self.records = []
+        self.capacity = capacity
+        self.dropped = 0
+        if capacity is None:
+            self.records = []
+        else:
+            self.records = deque(maxlen=capacity)
         self._subscribers = []
 
     def log(self, t, kind, **payload):
+        if self.capacity is not None and len(self.records) == self.capacity:
+            self.dropped += 1
         self.records.append((t, kind, payload))
         if self._subscribers:
             for fn in tuple(self._subscribers):

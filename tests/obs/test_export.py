@@ -1,0 +1,195 @@
+"""Exporter tests: Chrome-trace JSON validity, nesting, bit-identity.
+
+The differential test at the bottom is the layer's core promise: installing
+an Obs session — tracing off *or on* — leaves the run bit-identical to one
+without the layer (the tracer is read-only and draws no RNG).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.faults_exp import build_workload
+from repro.faults import fingerprint
+from repro.obs import (
+    Obs,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_metrics,
+    format_metrics_table,
+    metrics_snapshot,
+)
+from repro.sim.engine import Simulator
+
+
+def _session_with_activity():
+    """A hand-built session: nested spans, cross-event close, leak, extras."""
+    sim = Simulator(0)
+    obs = Obs(sim, label="unit").install()
+    tracer = obs.tracer
+    state = {}
+
+    def begin():
+        state["balloon"] = tracer.begin("balloon.cpu", cat="balloon",
+                                        track="smp", app=1)
+        state["ipi"] = tracer.begin("ipi.shootdown", parent=state["balloon"],
+                                    detached=True, core=1)
+        tracer.instant("loan.grant", cat="loan", track="smp", app=1)
+        sim.call_later(300, arrive)
+
+    def arrive():
+        tracer.end(state["ipi"])
+        tracer.sample("opp.cpu", track="governor.cpu", opp=2)
+        sim.call_later(200, finish)
+
+    def finish():
+        tracer.end(state["balloon"], reason="done")
+        tracer.begin("leak", cat="balloon", track="smp", detached=True)
+
+    sim.at(100, begin)
+    sim.run()
+    obs.metrics.inc("smp.balloons")
+    obs.metrics.observe("smp.balloon_ns", 500.0)
+    obs.metrics.set("level", 0.25)
+    return obs
+
+
+@pytest.fixture()
+def events():
+    return chrome_trace_events([_session_with_activity()])
+
+
+def test_trace_events_are_json_serializable(events):
+    parsed = json.loads(json.dumps(events))
+    assert len(parsed) == len(events)
+    assert all(e["ph"] in ("M", "b", "e", "i", "C") for e in parsed)
+
+
+def test_trace_has_process_and_thread_metadata(events):
+    meta = [e for e in events if e["ph"] == "M"]
+    names = {e["name"] for e in meta}
+    assert names == {"process_name", "thread_name"}
+    process = next(e for e in meta if e["name"] == "process_name")
+    assert process["args"]["name"] == "unit"
+    threads = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert "smp" in threads and "governor.cpu" in threads
+
+
+def test_timestamps_are_monotonic_and_microseconds(events):
+    body = [e for e in events if e["ph"] != "M"]
+    ts = [e["ts"] for e in body]
+    assert ts == sorted(ts)
+    begin = next(e for e in body if e["name"] == "balloon.cpu")
+    assert begin["ts"] == pytest.approx(0.1)   # 100 ns = 0.1 us
+
+
+def test_async_begin_end_balance_and_nesting(events):
+    """Per async group: b/e balanced, never more ends than begins."""
+    depths = {}
+    for e in events:
+        if e["ph"] not in ("b", "e"):
+            continue
+        key = (e["pid"], e["cat"], e["id"])
+        depth = depths.get(key, 0)
+        if e["ph"] == "b":
+            depths[key] = depth + 1
+        else:
+            assert depth > 0, "end before begin in group {}".format(key)
+            depths[key] = depth - 1
+    assert depths and all(depth == 0 for depth in depths.values())
+
+
+def test_child_spans_share_the_roots_async_id(events):
+    balloon = next(e for e in events
+                   if e["ph"] == "b" and e["name"] == "balloon.cpu")
+    ipi = next(e for e in events
+               if e["ph"] == "b" and e["name"] == "ipi.shootdown")
+    assert ipi["id"] == balloon["id"]
+    assert ipi["cat"] == balloon["cat"] == "balloon"
+
+
+def test_unfinished_spans_are_closed_and_flagged(events):
+    leak_end = next(e for e in events
+                    if e["ph"] == "e" and e["name"] == "leak")
+    assert leak_end["args"].get("unfinished") is True
+    # Closed at trace end (sim.now == 600 ns == 0.6 us).
+    assert leak_end["ts"] == pytest.approx(0.6)
+
+
+def test_instants_and_counter_samples_exported(events):
+    instant = next(e for e in events if e["ph"] == "i")
+    assert instant["name"] == "loan.grant"
+    assert instant["s"] == "t"
+    counter = next(e for e in events if e["ph"] == "C")
+    assert counter["name"] == "opp.cpu"
+    assert counter["args"] == {"opp": 2}
+
+
+def test_export_chrome_trace_writes_document(tmp_path):
+    path = tmp_path / "trace.json"
+    count = export_chrome_trace([_session_with_activity()], str(path))
+    document = json.loads(path.read_text())
+    assert len(document["traceEvents"]) == count > 0
+    assert document["displayTimeUnit"] == "ns"
+    assert document["otherData"]["sessions"] == ["unit"]
+
+
+def test_metrics_snapshot_merges_sessions(tmp_path):
+    a, b = _session_with_activity(), _session_with_activity()
+    snap = metrics_snapshot([a, b])
+    assert len(snap["sessions"]) == 2
+    assert snap["merged"]["counters"]["smp.balloons"] == 2
+    assert snap["merged"]["histograms"]["smp.balloon_ns"]["count"] == 2
+    path = tmp_path / "metrics.json"
+    export_metrics([a, b], str(path))
+    assert json.loads(path.read_text())["merged"] == snap["merged"]
+    table = format_metrics_table(snap)
+    assert "smp.balloons" in table and "histogram" in table
+
+
+def test_format_metrics_table_empty():
+    assert "no metrics" in format_metrics_table(
+        {"merged": {"counters": {}, "gauges": {}, "histograms": {}}})
+
+
+# -- the differential promise -------------------------------------------------------
+
+
+def _mixed_fingerprint(obs_mode):
+    """Run the mixed fault-campaign workload; obs_mode None = no session."""
+    work = build_workload("mixed", 0)
+    obs = None
+    if obs_mode is not None:
+        obs = Obs(work.platform.sim, tracing=obs_mode).install()
+        obs.bind_kernel(work.kernel)
+    work.platform.sim.run(until=work.horizon_ns)
+    return fingerprint(work.platform, work.kernel), obs
+
+
+@pytest.fixture(scope="module")
+def differential():
+    baseline, _ = _mixed_fingerprint(None)
+    silent, _ = _mixed_fingerprint(False)
+    traced, obs = _mixed_fingerprint(True)
+    return baseline, silent, traced, obs
+
+
+def test_installed_but_disabled_tracer_is_bit_identical(differential):
+    baseline, silent, _traced, _obs = differential
+    assert silent == baseline
+
+
+def test_enabled_tracer_is_bit_identical_too(differential):
+    """Tracing is read-only: even *enabled* it must not perturb the run."""
+    baseline, _silent, traced, _obs = differential
+    assert traced == baseline
+
+
+def test_enabled_tracer_actually_recorded_the_run(differential):
+    _baseline, _silent, _traced, obs = differential
+    assert len(obs.tracer.spans) > 0
+    assert obs.metrics.counter("smp.balloons").value > 0
+    events = chrome_trace_events([obs])
+    json.dumps(events)
+    assert any(e["ph"] == "b" and e["name"] == "ipi.shootdown"
+               for e in events)

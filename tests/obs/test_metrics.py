@@ -1,0 +1,121 @@
+"""Metrics unit tests: counters, gauges, weighted histograms, merging."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_accumulates():
+    c = Counter("c")
+    c.inc()
+    c.inc(41)
+    assert c.value == 42
+
+
+def test_gauge_tracks_envelope():
+    g = Gauge("g")
+    assert g.value is None
+    g.set(5.0)
+    g.set(1.0)
+    g.set(3.0)
+    assert g.value == 3.0
+    assert g.min == 1.0
+    assert g.max == 5.0
+    assert g.updates == 3
+
+
+def test_histogram_unweighted_quantiles():
+    h = Histogram("h")
+    for v in range(1, 101):
+        h.observe(v)
+    assert h.count == 100
+    assert h.min == 1 and h.max == 100
+    assert h.mean == pytest.approx(50.5)
+    assert h.quantile(0.5) == 50
+    assert h.quantile(0.0) == 1
+    assert h.quantile(1.0) == 100
+
+
+def test_histogram_weighted_quantiles_are_time_weighted():
+    # An OPP residency: value 1.0 held for 9 units, value 10.0 for 1 unit.
+    h = Histogram("h")
+    h.observe(1.0, weight=9.0)
+    h.observe(10.0, weight=1.0)
+    assert h.quantile(0.5) == 1.0
+    assert h.quantile(0.89) == 1.0
+    assert h.quantile(0.95) == 10.0
+    assert h.mean == pytest.approx((1.0 * 9 + 10.0 * 1) / 10)
+
+
+def test_histogram_rejects_bad_quantile_and_ignores_zero_weight():
+    h = Histogram("h")
+    assert h.quantile(0.5) is None
+    h.observe(1.0, weight=0.0)
+    assert h.count == 0
+    h.observe(1.0)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_merge_is_exact():
+    a, b, both = Histogram("a"), Histogram("b"), Histogram("both")
+    for v in (1, 2, 3):
+        a.observe(v)
+        both.observe(v)
+    for v in (10, 20):
+        b.observe(v, weight=2.0)
+        both.observe(v, weight=2.0)
+    a.merge_from(b)
+    for q in (0.1, 0.5, 0.9):
+        assert a.quantile(q) == both.quantile(q)
+    assert a.mean == pytest.approx(both.mean)
+
+
+def test_registry_create_on_demand_and_conveniences():
+    reg = MetricsRegistry()
+    reg.inc("events")
+    reg.inc("events", 2)
+    reg.set("level", 0.5)
+    reg.observe("latency", 10.0)
+    assert reg.counter("events").value == 3
+    assert reg.gauge("level").value == 0.5
+    assert reg.histogram("latency").count == 1
+    assert len(reg) == 3
+    # Same name returns the same handle.
+    assert reg.counter("events") is reg.counter("events")
+
+
+def test_registry_merge_semantics():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.inc("n", 1)
+    b.inc("n", 2)
+    b.inc("only_b", 5)
+    a.set("g", 1.0)
+    b.set("g", 0.5)
+    b.set("g", 4.0)
+    a.observe("h", 1.0)
+    b.observe("h", 3.0)
+    a.merge_from(b)
+    assert a.counter("n").value == 3
+    assert a.counter("only_b").value == 5
+    assert a.gauge("g").value == 4.0      # the merged-in latest wins
+    assert a.gauge("g").min == 0.5
+    assert a.gauge("g").max == 4.0
+    assert a.histogram("h").count == 2
+
+
+def test_snapshot_shape():
+    reg = MetricsRegistry()
+    reg.inc("c")
+    reg.set("g", 2.0)
+    reg.observe("h", 5.0)
+    snap = reg.snapshot()
+    assert snap["counters"] == {"c": 1}
+    assert snap["gauges"]["g"] == {"value": 2.0, "min": 2.0, "max": 2.0}
+    hist = snap["histograms"]["h"]
+    assert hist["count"] == 1
+    assert hist["p50"] == 5.0
+    assert hist["p99"] == 5.0
+    # The snapshot must be JSON-serializable as-is.
+    import json
+    json.dumps(snap)

@@ -1,0 +1,87 @@
+"""Event-loop profiler tests: aggregation, ranking, harmlessness."""
+
+from repro.obs import EventLoopProfiler
+from repro.obs.profiler import callsite
+from repro.sim.engine import Simulator
+
+
+def _busy(n):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def test_profiler_aggregates_by_callsite():
+    sim = Simulator(0)
+    profiler = EventLoopProfiler().install(sim)
+    assert sim.profile is profiler
+
+    def fast():
+        _busy(10)
+
+    def slow():
+        _busy(20000)
+
+    for i in range(5):
+        sim.at(i * 10, fast)
+    sim.at(100, slow)
+    sim.run()
+
+    assert profiler.events == 6
+    assert profiler.total_s > 0
+    stats = profiler.stats
+    fast_key = callsite(fast)
+    slow_key = callsite(slow)
+    assert stats[fast_key][0] == 5
+    assert stats[slow_key][0] == 1
+    assert fast_key.startswith("tests.obs.test_profiler")
+
+
+def test_top_ranks_by_cumulative_wall_time():
+    profiler = EventLoopProfiler()
+    profiler.record(_busy, 0.001)
+    profiler.record(_busy, 0.001)
+    profiler.record(test_top_ranks_by_cumulative_wall_time, 0.005)
+    top = profiler.top(1)
+    assert len(top) == 1
+    key, calls, seconds = top[0]
+    assert key == callsite(test_top_ranks_by_cumulative_wall_time)
+    assert calls == 1 and seconds == 0.005
+    assert len(profiler.top(10)) == 2
+
+
+def test_format_table_renders():
+    profiler = EventLoopProfiler()
+    assert "no events profiled" in profiler.format_table()
+    profiler.record(_busy, 0.002)
+    table = profiler.format_table(5)
+    assert callsite(_busy) in table
+    assert "100.0%" in table
+
+
+def test_profiled_run_reaches_the_same_virtual_time():
+    def workload(sim, log):
+        def tick(n):
+            log.append((sim.now, n))
+            if n:
+                sim.call_later(7, tick, n - 1)
+        sim.call_soon(tick, 20)
+        sim.run()
+
+    plain_sim, plain_log = Simulator(0), []
+    workload(plain_sim, plain_log)
+    prof_sim, prof_log = Simulator(0), []
+    EventLoopProfiler().install(prof_sim)
+    workload(prof_sim, prof_log)
+    assert prof_log == plain_log
+    assert prof_sim.now == plain_sim.now
+
+
+def test_callsite_handles_plain_callables():
+    class Handler:
+        def __call__(self):
+            pass
+
+    label = callsite(Handler())
+    assert isinstance(label, str) and label

@@ -1,0 +1,221 @@
+"""Tracer unit tests: span lifecycles, causal context, disabled no-ops."""
+
+from repro.obs import Obs
+from repro.sim.engine import Simulator
+
+
+def _obs(tracing=True):
+    sim = Simulator(0)
+    return sim, Obs(sim, label="t", tracing=tracing).install()
+
+
+def test_scoped_spans_nest_within_a_cascade():
+    sim, obs = _obs()
+    tracer = obs.tracer
+    seen = {}
+
+    def handler():
+        outer = tracer.begin("outer", cat="c")
+        inner = tracer.begin("inner")
+        seen["outer"] = outer
+        seen["inner"] = inner
+        tracer.end(inner)
+        tracer.end(outer)
+
+    sim.call_soon(handler)
+    sim.run()
+    assert seen["inner"].parent_id == seen["outer"].id
+    assert seen["outer"].parent_id is None
+    assert seen["inner"].closed and seen["outer"].closed
+    assert tracer.children_of(seen["outer"]) == [seen["inner"]]
+
+
+def test_span_records_virtual_time():
+    sim, obs = _obs()
+    handle = {}
+
+    def begin():
+        handle["span"] = obs.tracer.begin("work")
+        sim.call_later(500, finish)
+
+    def finish():
+        obs.tracer.end(handle["span"], outcome="done")
+
+    sim.at(100, begin)
+    sim.run()
+    span = handle["span"]
+    assert span.start == 100
+    assert span.end == 600
+    assert span.duration == 500
+    assert span.args["outcome"] == "done"
+
+
+def test_context_propagates_through_scheduled_events():
+    """A span current at schedule time parents spans in the continuation."""
+    sim, obs = _obs()
+    tracer = obs.tracer
+    seen = {}
+
+    def begin():
+        seen["parent"] = tracer.begin("parent")
+        sim.call_later(1000, continuation)
+        tracer.end(seen["parent"])
+
+    def continuation():
+        # The event loop unwound in between, but the event carried the span.
+        assert tracer.current is seen["parent"]
+        seen["child"] = tracer.begin("child")
+        tracer.end(seen["child"])
+
+    sim.call_soon(begin)
+    sim.run()
+    assert seen["child"].parent_id == seen["parent"].id
+
+
+def test_events_scheduled_outside_any_span_carry_no_context():
+    sim, obs = _obs()
+    tracer = obs.tracer
+    seen = {}
+
+    def handler():
+        seen["current"] = tracer.current
+        seen["span"] = tracer.begin("orphan")
+        tracer.end(seen["span"])
+
+    sim.call_soon(handler)
+    sim.run()
+    assert seen["current"] is None
+    assert seen["span"].parent_id is None
+
+
+def test_detached_span_does_not_become_current():
+    sim, obs = _obs()
+    tracer = obs.tracer
+    seen = {}
+
+    def handler():
+        seen["det"] = tracer.begin("det", detached=True)
+        seen["current"] = tracer.current
+        other = tracer.begin("other")
+        seen["other"] = other
+        tracer.end(other)
+        tracer.end(seen["det"])
+
+    sim.call_soon(handler)
+    sim.run()
+    assert seen["current"] is None
+    assert seen["other"].parent_id is None
+    # ...but a detached span still takes the current span as its parent.
+    assert seen["det"].parent_id is None
+
+
+def test_detached_span_with_explicit_parent():
+    sim, obs = _obs()
+    tracer = obs.tracer
+    seen = {}
+
+    def handler():
+        root = tracer.begin("root", cat="balloon", track="smp")
+        det = tracer.begin("ipi", parent=root, detached=True)
+        seen["root"], seen["det"] = root, det
+        tracer.end(det)
+        tracer.end(root)
+
+    sim.call_soon(handler)
+    sim.run()
+    assert seen["det"].parent_id == seen["root"].id
+    # Track inheritance: a child with no track takes its parent's.
+    assert seen["det"].track == "smp"
+
+
+def test_unclosed_spans_reported_open():
+    sim, obs = _obs()
+    tracer = obs.tracer
+    sim.call_soon(lambda: tracer.begin("leak", detached=True))
+    sim.run()
+    assert len(tracer.open_spans()) == 1
+    assert tracer.open_spans()[0].name == "leak"
+
+
+def test_end_is_idempotent_and_none_safe():
+    sim, obs = _obs()
+    tracer = obs.tracer
+
+    def handler():
+        span = tracer.begin("once")
+        tracer.end(span)
+        first_end = span.end
+        sim.call_later(100, lambda: tracer.end(span))
+        sim.call_later(100, lambda: tracer.end(None))
+        handler.first_end = first_end
+
+    sim.call_soon(handler)
+    sim.run()
+    span = tracer.spans[0]
+    assert span.end == handler.first_end == 0
+
+
+def test_span_context_manager():
+    sim, obs = _obs()
+
+    def handler():
+        with obs.tracer.span("block", cat="c", track="tr", arg=1) as span:
+            assert obs.tracer.current is span
+        assert span.closed
+
+    sim.call_soon(handler)
+    sim.run()
+    assert obs.tracer.find("block", "c")[0].args == {"arg": 1}
+
+
+def test_instants_inherit_current_track():
+    sim, obs = _obs()
+    tracer = obs.tracer
+
+    def handler():
+        with tracer.span("holder", track="smp"):
+            tracer.instant("ping", cat="c", n=3)
+        tracer.instant("bare")
+
+    sim.call_soon(handler)
+    sim.run()
+    (t0, track0, name0, cat0, args0), (_t1, track1, _n1, _c1, _a1) = \
+        tracer.instants
+    assert (track0, name0, cat0, args0) == ("smp", "ping", "c", {"n": 3})
+    assert track1 == ""
+
+
+def test_disabled_tracer_records_nothing():
+    sim, obs = _obs(tracing=False)
+    tracer = obs.tracer
+
+    def handler():
+        span = tracer.begin("x", detached=False)
+        assert span is None
+        tracer.end(span)
+        tracer.instant("i")
+        tracer.sample("s", v=1)
+        with tracer.span("cm") as cm:
+            assert cm is None
+
+    sim.call_soon(handler)
+    sim.run()
+    assert len(tracer) == 0
+    assert tracer.instants == []
+    assert tracer.samples == []
+
+
+def test_find_filters_by_name_and_cat():
+    sim, obs = _obs()
+    tracer = obs.tracer
+
+    def handler():
+        tracer.end(tracer.begin("a", cat="x"))
+        tracer.end(tracer.begin("a", cat="y"))
+        tracer.end(tracer.begin("b", cat="x"))
+
+    sim.call_soon(handler)
+    sim.run()
+    assert len(tracer.find("a")) == 2
+    assert len(tracer.find(cat="x")) == 2
+    assert len(tracer.find("a", "y")) == 1

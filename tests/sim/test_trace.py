@@ -166,3 +166,76 @@ def test_event_trace_iteration_and_len():
     log.log(2, "b")
     assert len(log) == 2
     assert [k for _t, k, _p in log] == ["a", "b"]
+
+
+def test_add_fast_path_matches_value_at_semantics():
+    """add() at/after the last change point must equal the general path."""
+    fast = StepTrace(1.0)
+    t = 0
+    for dt, delta in [(10, 2.0), (0, 0.5), (5, -1.0), (0, 3.0)]:
+        t += dt
+        fast.add(t, delta)
+    # Same-time adds stack (2.0 then +0.5 at t=10), later adds see them.
+    assert fast.value_at(10) == pytest.approx(3.5)
+    assert fast.value_at(15) == pytest.approx(5.5)
+    assert fast.last_value == pytest.approx(5.5)
+    assert len(fast) == 3     # t=0, t=10, t=15
+
+
+def test_add_in_past_still_raises():
+    tr = StepTrace(0.0)
+    tr.add(100, 1.0)
+    with pytest.raises(ValueError):
+        tr.add(50, 1.0)
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.floats(-5, 5)), max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_add_accumulates_deltas_exactly(steps):
+    """Final value == initial + sum of deltas, however times collide."""
+    tr = StepTrace(2.0)
+    t = 0
+    total = 2.0
+    for dt, delta in steps:
+        t += dt
+        tr.add(t, delta)
+        total += delta
+    assert tr.last_value == pytest.approx(total)
+    assert tr.value_at(t + 1) == pytest.approx(total)
+
+
+def test_event_trace_ring_keeps_newest_and_counts_drops():
+    log = EventTrace("ring", capacity=3)
+    for i in range(5):
+        log.log(i, "k", n=i)
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert [p["n"] for _t, _k, p in log] == [2, 3, 4]
+    assert log.times() == [2, 3, 4]
+    # filter() works on the ring contents only.
+    assert log.filter(t0=0, t1=3) == [(2, "k", {"n": 2})]
+
+
+def test_event_trace_ring_subscribers_see_every_record():
+    log = EventTrace("ring", capacity=2)
+    seen = []
+    log.subscribe(lambda t, k, p: seen.append(t))
+    for i in range(6):
+        log.log(i, "k")
+    assert seen == list(range(6))
+    assert len(log) == 2 and log.dropped == 4
+
+
+def test_event_trace_unbounded_never_drops():
+    log = EventTrace()
+    for i in range(100):
+        log.log(i, "k")
+    assert len(log) == 100
+    assert log.dropped == 0
+    assert log.capacity is None
+
+
+def test_event_trace_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        EventTrace(capacity=0)
+    assert EventTrace(capacity=1).capacity == 1
