@@ -1,0 +1,89 @@
+"""Parallel-runner scaling: wall-clock vs. job count, plus cache replay.
+
+Emits ``BENCH_par.json`` at the repo root — the scaling data point the
+parallel runner promises: the full fault-scenario campaign at two seeds
+run serially, then fanned across 2 and 4 processes, then replayed from a
+warm result cache.  Speedup depends on the CI machine's core count (each
+spawned worker also pays an interpreter-boot cost of a second or two, so
+tiny workloads can come out slower), so the assertions only pin what must
+always hold — parallel results identical to serial, the replay all-cached
+and cheaper than recomputing — while the JSON carries the honest timings.
+"""
+
+import json
+import os
+from time import perf_counter
+
+from repro.analysis.report import format_table
+from repro.experiments.faults_exp import campaign_items
+from repro.faults import SCENARIOS
+from repro.par import ParallelRunner, ResultCache
+
+from benchmarks.conftest import report
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_par.json")
+
+SEEDS = (0, 1)
+
+
+def _cells():
+    return campaign_items(SEEDS, SCENARIOS)
+
+
+def _timed_run(jobs, cache=None):
+    runner = ParallelRunner(jobs=jobs, cache=cache)
+    start = perf_counter()
+    payloads = runner.run(_cells())
+    return perf_counter() - start, payloads, runner
+
+
+def test_bench_par_scaling_and_emit_json(tmp_path):
+    serial_s, serial_payloads, serial_runner = _timed_run(jobs=1)
+    jobs2_s, jobs2_payloads, _ = _timed_run(jobs=2)
+    jobs4_s, jobs4_payloads, _ = _timed_run(jobs=4)
+
+    # the core guarantee: fan-out never changes a result
+    assert jobs2_payloads == serial_payloads
+    assert jobs4_payloads == serial_payloads
+
+    cache_dir = str(tmp_path / "parcache")
+    _populate_s, _, _ = _timed_run(jobs=2, cache=ResultCache(cache_dir))
+    replay_s, replay_payloads, replay_runner = _timed_run(
+        jobs=2, cache=ResultCache(cache_dir))
+    assert replay_payloads == serial_payloads
+    assert replay_runner.stats.cached == len(serial_payloads)
+    assert replay_runner.stats.executed == 0
+    assert replay_s < serial_s
+
+    payload = {
+        "workload": "full faults campaign, seeds {}".format(list(SEEDS)),
+        "cells": len(serial_payloads),
+        "cpu_count": os.cpu_count(),
+        "serial_s": serial_s,
+        "serial_cell_cost_s": serial_runner.stats.cell_wall_s,
+        "jobs2_s": jobs2_s,
+        "jobs4_s": jobs4_s,
+        "speedup_jobs2": serial_s / jobs2_s,
+        "speedup_jobs4": serial_s / jobs4_s,
+        "cache_replay_s": replay_s,
+        "cache_replay_speedup": serial_s / replay_s,
+        "replay_all_cached": True,
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    rows = [
+        ["serial (jobs=1)", "{:.2f}".format(serial_s), "1.00x"],
+        ["jobs=2", "{:.2f}".format(jobs2_s),
+         "{:.2f}x".format(payload["speedup_jobs2"])],
+        ["jobs=4", "{:.2f}".format(jobs4_s),
+         "{:.2f}x".format(payload["speedup_jobs4"])],
+        ["cache replay", "{:.2f}".format(replay_s),
+         "{:.2f}x".format(payload["cache_replay_speedup"])],
+    ]
+    report("PAR-SCALING", format_table(
+        ["configuration", "wall s", "speedup"], rows,
+        title="Parallel runner scaling — {} cells on {} host cores "
+              "(byte-identical results in every configuration)".format(
+                  payload["cells"], payload["cpu_count"]),
+    ))

@@ -332,9 +332,14 @@ class InvariantChecker:
             return
         self.report.checks += 1
         waited = self.sim.now - cosched.started_at
+        # Dedup by the episode's stable identity, not id(): CPython reuses
+        # addresses, so a later cosched could collide with a flagged one and
+        # go unreported — nondeterministically, since allocation layout
+        # varies per process.
+        episode = (cosched.group.app.id, cosched.started_at)
         if waited > self.config.shootdown_bound \
-                and id(cosched) not in self._flagged_cosched:
-            self._flagged_cosched.add(id(cosched))
+                and episode not in self._flagged_cosched:
+            self._flagged_cosched.add(episode)
             self._flag(
                 "shootdown_liveness", "smp", "cosched",
                 "cores {} have not honoured app {}'s shootdown IPI after "

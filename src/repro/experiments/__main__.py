@@ -11,6 +11,13 @@ Observability (``repro.obs``) rides along on any run::
     python -m repro.experiments fig6 --trace fig6.json      # Perfetto/Chrome
     python -m repro.experiments fig6 --metrics metrics.json # counters etc.
     python -m repro.experiments fig6 --profile              # host hotspots
+
+Multi-run workloads fan out across processes (``repro.par``) with results
+byte-identical to the serial run, and a content-addressed cache skips
+completed cells on re-runs::
+
+    python -m repro.experiments faults --seeds 25 --jobs 8
+    python -m repro.experiments sweep --jobs 4 --cache .parcache
 """
 
 import argparse
@@ -160,10 +167,26 @@ def run_powercap():
     ))
 
 
-def run_faults():
-    from repro.experiments.faults_exp import run_faults as _run
+def _result_cache(args):
+    if args is None or not getattr(args, "cache", None):
+        return None
+    from repro.par import ResultCache
 
-    campaign = _run()
+    return ResultCache(args.cache)
+
+
+def _print_par_stats(runner, jobs, cache):
+    """Runner stats go to stderr: the stdout report must stay byte-identical
+    between serial and parallel runs (the differential test's contract)."""
+    if jobs > 1 or cache is not None:
+        print(runner.stats.summary(), file=sys.stderr)
+    if runner.obs_snapshot is not None:
+        from repro.obs import format_metrics_table
+
+        print(format_metrics_table(runner.obs_snapshot))
+
+
+def _print_campaign_table(campaign):
     rows = [
         [o.name, o.workload, str(o.injections), str(o.violations),
          o.outcome + ("" if o.matches else " (MISMATCH!)")]
@@ -183,6 +206,48 @@ def run_faults():
         len(campaign.outcomes)))
 
 
+def run_faults(args=None):
+    from repro.experiments.faults_exp import (
+        campaign_summary_lines,
+        run_faults_parallel,
+        soak_seeds,
+    )
+
+    jobs = getattr(args, "jobs", 1) if args is not None else 1
+    cache = _result_cache(args)
+    if args is not None and getattr(args, "seeds", None) is not None:
+        seeds = soak_seeds(args.seeds, args.entropy)
+    else:
+        seeds = [0]
+    campaigns, runner = run_faults_parallel(
+        seeds, jobs=jobs, cache=cache,
+        obs_metrics=obs_runtime.is_active() and jobs > 1,
+    )
+    if len(campaigns) == 1:
+        _print_campaign_table(campaigns[0])
+    else:
+        for campaign in campaigns:
+            for line in campaign_summary_lines(campaign):
+                print(line)
+    _print_par_stats(runner, jobs, cache)
+
+
+def run_sweep(args=None):
+    from repro.experiments.sweep import run_sweep as _run
+
+    jobs = getattr(args, "jobs", 1) if args is not None else 1
+    cache = _result_cache(args)
+    only = getattr(args, "only", None) if args is not None else None
+    payloads, runner = _run(
+        only.split(",") if only else None, jobs=jobs, cache=cache,
+        obs_metrics=obs_runtime.is_active() and jobs > 1,
+    )
+    for payload in payloads:
+        print("== {} ==".format(payload["cell"]))
+        print(payload["text"], end="")
+    _print_par_stats(runner, jobs, cache)
+
+
 EXPERIMENTS = {
     "fig3": run_fig3,
     "faults": run_faults,
@@ -194,7 +259,11 @@ EXPERIMENTS = {
     "sec62": run_sec62,
     "sec63": run_sec63,
     "sidechannel": run_sidechannel,
+    "sweep": run_sweep,
 }
+
+#: subcommands whose driver consumes the parallel/soak CLI flags
+NEEDS_ARGS = {"faults", "sweep"}
 
 
 def main(argv=None):
@@ -216,12 +285,31 @@ def main(argv=None):
                         metavar="N",
                         help="profile the event loop on the host clock and "
                              "print the top N handler callsites (default 12)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan independent cells across N processes "
+                             "(faults, sweep); output is byte-identical to "
+                             "a serial run")
+    parser.add_argument("--cache", metavar="DIR",
+                        help="content-addressed result cache for parallel "
+                             "cells (faults, sweep); invalidated by any "
+                             "repro source change")
+    parser.add_argument("--seeds", type=int, default=None, metavar="N",
+                        help="faults soak mode: run N seeds drawn from "
+                             "--entropy")
+    parser.add_argument("--entropy", type=int, default=0,
+                        help="seed-sequence entropy for --seeds")
+    parser.add_argument("--only", metavar="CELLS",
+                        help="sweep: comma-separated cell names")
     args = parser.parse_args(argv)
 
     if args.list or not args.names:
         print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
         return 0
-    names = sorted(EXPERIMENTS) if args.names == ["all"] else args.names
+    if args.names == ["all"]:
+        # "all" already covers every cell the sweep would run
+        names = sorted(name for name in EXPERIMENTS if name != "sweep")
+    else:
+        names = args.names
     for name in names:
         if name not in EXPERIMENTS:
             parser.error("unknown experiment {!r} (try --list)".format(name))
@@ -239,7 +327,10 @@ def main(argv=None):
             print("#" * 72)
             print("# {}".format(name))
             print("#" * 72)
-            EXPERIMENTS[name]()
+            if name in NEEDS_ARGS:
+                EXPERIMENTS[name](args)
+            else:
+                EXPERIMENTS[name]()
             print()
         if observing:
             _export_observability(args)

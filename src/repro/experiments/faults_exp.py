@@ -23,7 +23,7 @@ module's own CLI adds ``--seeds N`` for the nightly multi-seed soak.
 
 import argparse
 import sys
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -35,7 +35,8 @@ from repro.experiments.powercap_exp import (
     build_bindings,
     build_budget_tree,
 )
-from repro.faults import DETECTED, SCENARIOS, TOLERATED, TaskCrashInjector
+from repro.faults import DETECTED, SCENARIOS, TOLERATED, TaskCrashInjector, scenario
+from repro.par import ParallelRunner, ResultCache, work_list
 from repro.kernel.actions import Compute, SendPacket, Sleep, SubmitAccel
 from repro.powercap import PowerCapController
 from repro.sim.clock import SEC, from_msec, from_usec
@@ -235,6 +236,80 @@ def soak_seeds(n, entropy=0):
     return [int(s) for s in np.random.SeedSequence(entropy).generate_state(n)]
 
 
+# -- the parallel campaign (repro.par) --------------------------------------------
+
+
+#: the dotted entry point spawn-started workers import
+CELL_RUNNER = "repro.experiments.faults_exp:run_scenario_cell"
+
+
+def run_scenario_cell(seed, config):
+    """Spawn-safe cell runner: one (scenario, seed) cell of the campaign."""
+    outcome = run_scenario(scenario(config["scenario"]), seed=seed)
+    return asdict(outcome)
+
+
+def fingerprint_cell(seed, config):
+    """Spawn-safe cell: run a workload, return its sha256 trace fingerprint.
+
+    The differential tests use this to prove the worker protocol itself is
+    bit-clean: a workload booted inside a spawned worker must fingerprint
+    identically to the same workload booted in the parent process.
+    """
+    from repro.faults import fingerprint
+
+    work = build_workload(config.get("workload", "mixed"), seed)
+    work.platform.sim.run(until=work.horizon_ns)
+    return {"fingerprint": fingerprint(work.platform, work.kernel)}
+
+
+def campaign_items(seeds, scenarios=SCENARIOS):
+    """The campaign's work-list: seed-major, scenario order within a seed."""
+    return work_list(
+        "faults", CELL_RUNNER,
+        [(int(seed), {"scenario": scn.name})
+         for seed in seeds for scn in scenarios],
+    )
+
+
+def run_faults_parallel(seeds, jobs=1, cache=None, scenarios=SCENARIOS,
+                        obs_metrics=False):
+    """The scenario matrix at many seeds, fanned across ``jobs`` processes.
+
+    Cells are bit-reproducible and the merge orders by shard key, so the
+    returned campaigns are identical to ``[run_faults(s) for s in seeds]``
+    no matter the job count or cache state.  Returns
+    ``(campaigns, runner)`` — the runner carries stats and the aggregated
+    per-worker obs metrics.
+    """
+    runner = ParallelRunner(jobs=jobs, cache=cache, obs_metrics=obs_metrics)
+    payloads = runner.run(campaign_items(seeds, scenarios))
+    per_seed = len(scenarios)
+    campaigns = [
+        CampaignResult(
+            seed=int(seed),
+            outcomes=[ScenarioOutcome(**payload)
+                      for payload in payloads[i * per_seed:(i + 1) * per_seed]],
+        )
+        for i, seed in enumerate(seeds)
+    ]
+    return campaigns, runner
+
+
+def campaign_summary_lines(campaign):
+    """The soak report's lines for one campaign (shared by both CLIs)."""
+    lines = ["seed {:>10}: {:2d}/{} scenarios matched  [{}]".format(
+        campaign.seed, len(campaign.outcomes) - len(campaign.mismatches),
+        len(campaign.outcomes), "ok" if campaign.ok else "FAIL")]
+    for outcome in campaign.mismatches:
+        lines.append("  MISMATCH {}: expected {}, got {} "
+                     "({} injections, {} violations) {}".format(
+                         outcome.name, outcome.expect, outcome.outcome,
+                         outcome.injections, outcome.violations,
+                         outcome.first_violation))
+    return lines
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.faults_exp",
@@ -246,24 +321,30 @@ def main(argv=None):
                         help="soak mode: run N seeds drawn from --entropy")
     parser.add_argument("--entropy", type=int, default=0,
                         help="seed-sequence entropy for --seeds")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan (scenario, seed) cells across N processes "
+                             "(default 1; output is byte-identical either "
+                             "way)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="content-addressed result cache: completed "
+                             "cells are skipped on re-runs (invalidated by "
+                             "any repro source change)")
     args = parser.parse_args(argv)
 
     seeds = (soak_seeds(args.seeds, args.entropy)
              if args.seeds is not None else [args.seed])
+    cache = ResultCache(args.cache) if args.cache else None
+    campaigns, runner = run_faults_parallel(seeds, jobs=args.jobs,
+                                            cache=cache)
     failed = 0
-    for seed in seeds:
-        campaign = run_faults(seed=seed)
-        verdict = "ok" if campaign.ok else "FAIL"
-        print("seed {:>10}: {:2d}/{} scenarios matched  [{}]".format(
-            seed, len(campaign.outcomes) - len(campaign.mismatches),
-            len(campaign.outcomes), verdict))
-        for outcome in campaign.mismatches:
-            failed += 1
-            print("  MISMATCH {}: expected {}, got {} "
-                  "({} injections, {} violations) {}".format(
-                      outcome.name, outcome.expect, outcome.outcome,
-                      outcome.injections, outcome.violations,
-                      outcome.first_violation))
+    for campaign in campaigns:
+        failed += len(campaign.mismatches)
+        for line in campaign_summary_lines(campaign):
+            print(line)
+    if args.jobs > 1 or cache is not None:
+        # stats go to stderr so the stdout report stays byte-identical to
+        # the serial run (the differential test's contract)
+        print(runner.stats.summary(), file=sys.stderr)
     return 1 if failed else 0
 
 

@@ -1,0 +1,107 @@
+"""Parallel sweep over the paper's figure/section experiments.
+
+``python -m repro.experiments sweep --jobs N`` runs every figure and
+section experiment — plus a powercap cap-fraction sweep — as independent
+cells on the :mod:`repro.par` process pool.  Each cell captures the stdout
+its experiment would have printed; the merge re-emits the captured text in
+work-list order, so ``--jobs 8`` output is byte-identical to ``--jobs 1``
+(which runs the same cells in-process).
+
+Cells are addressed by name: the plain experiment subcommands (``fig3`` ..
+``sidechannel``) and ``powercap@<fraction>`` for the cap sweep.  With
+``--cache DIR`` a finished sweep replays from the result cache instantly.
+"""
+
+import contextlib
+import io
+
+from repro.par import ParallelRunner, ResultCache, work_list
+
+#: the dotted entry point spawn-started workers import
+CELL_RUNNER = "repro.experiments.sweep:run_sweep_cell"
+
+#: powercap cap fractions swept (70% is the paper-extension default)
+CAP_FRACTIONS = (0.60, 0.70, 0.80)
+
+#: cells in print order; the figure experiments first, then the cap sweep
+FIG_CELLS = ("fig3", "fig6", "fig7", "fig8", "fig9",
+             "sec62", "sec63", "sidechannel")
+
+
+def cell_names():
+    return list(FIG_CELLS) + [
+        "powercap@{:.2f}".format(fraction) for fraction in CAP_FRACTIONS
+    ]
+
+
+def _powercap_cell(fraction):
+    from repro.experiments.powercap_exp import run_powercap
+
+    result = run_powercap(cap_fraction=fraction)
+    print("cap {:>3.0%} of peak: uncapped {:.2f} W  cap {:.2f} W  "
+          "steady {:.2f} W  compliance {:+.1f}%  throttle/relax {}".format(
+              fraction, result.uncapped_w, result.cap_w, result.steady_w,
+              result.compliance_pct, result.throttle_actions))
+
+
+def run_sweep_cell(seed, config):
+    """Spawn-safe cell runner: one experiment, stdout captured as text."""
+    del seed    # sweep cells carry their seeds internally
+    name = config["cell"]
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        if name.startswith("powercap@"):
+            _powercap_cell(float(name.split("@", 1)[1]))
+        else:
+            from repro.experiments.__main__ import EXPERIMENTS
+
+            EXPERIMENTS[name]()
+    return {"cell": name, "text": buffer.getvalue()}
+
+
+def sweep_items(names=None):
+    names = cell_names() if names is None else list(names)
+    return work_list("sweep", CELL_RUNNER,
+                     [(0, {"cell": name}) for name in names])
+
+
+def run_sweep(names=None, jobs=1, cache=None, obs_metrics=False):
+    """Run the sweep; returns ``(payloads-in-order, runner)``."""
+    runner = ParallelRunner(jobs=jobs, cache=cache, obs_metrics=obs_metrics)
+    payloads = runner.run(sweep_items(names))
+    return payloads, runner
+
+
+def main(argv=None):
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.sweep",
+        description="Run the figure experiments as a parallel sweep.",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument("--cache", metavar="DIR", default=None)
+    parser.add_argument("--only", metavar="CELLS", default=None,
+                        help="comma-separated cell names (default: all)")
+    args = parser.parse_args(argv)
+
+    names = args.only.split(",") if args.only else None
+    unknown = set(names or ()) - set(cell_names())
+    if unknown:
+        parser.error("unknown cells: {} (available: {})".format(
+            ", ".join(sorted(unknown)), ", ".join(cell_names())))
+    cache = ResultCache(args.cache) if args.cache else None
+    payloads, runner = run_sweep(names, jobs=args.jobs, cache=cache)
+    for payload in payloads:
+        print("== {} ==".format(payload["cell"]))
+        print(payload["text"], end="")
+    if args.jobs > 1 or cache is not None:
+        print(runner.stats.summary(), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -61,6 +61,18 @@ def sessions():
     return list(_sessions)
 
 
+def drain_sessions():
+    """Hand over and forget the accumulated sessions.
+
+    Parallel workers (``repro.par.worker``) call this after every shard so
+    each shard ships exactly its own metrics home — sessions must not leak
+    into the next shard's snapshot.
+    """
+    drained = list(_sessions)
+    _sessions.clear()
+    return drained
+
+
 def profiler():
     return _profiler
 

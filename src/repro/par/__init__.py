@@ -1,0 +1,42 @@
+"""repro.par — the parallel sharded experiment runner.
+
+Every multi-run workload in this repo — fault soaks, powercap sweeps, the
+figure experiments — is a list of independent, bit-reproducible
+(experiment, seed, config) cells.  This package fans such a work-list
+across a pool of spawn-started processes and merges the results by shard
+key, so parallel output is byte-identical to the serial run; a
+content-addressed cache keyed on (experiment, seed, config hash, code
+fingerprint) lets re-runs and resumed soaks skip completed cells.
+
+Typical use::
+
+    from repro.par import ParallelRunner, ResultCache, work_list
+
+    items = work_list("faults", "repro.experiments.faults_exp:run_scenario_cell",
+                      [(seed, {"scenario": name}) for ...])
+    runner = ParallelRunner(jobs=8, cache=ResultCache(".parcache"))
+    payloads = runner.run(items)        # ordered by work-list index
+"""
+
+from repro.par.cache import ResultCache, code_fingerprint, config_hash
+from repro.par.metrics import merge_snapshots
+from repro.par.runner import ParallelRunner, RunStats
+from repro.par.shard import WorkItem, merge_results, plan_shards, work_list
+from repro.par.worker import CellError, resolve_runner, run_cell, run_shard
+
+__all__ = [
+    "CellError",
+    "ParallelRunner",
+    "ResultCache",
+    "RunStats",
+    "WorkItem",
+    "code_fingerprint",
+    "config_hash",
+    "merge_results",
+    "merge_snapshots",
+    "plan_shards",
+    "resolve_runner",
+    "run_cell",
+    "run_shard",
+    "work_list",
+]

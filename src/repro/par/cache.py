@@ -1,0 +1,118 @@
+"""Content-addressed result cache for parallel experiment cells.
+
+Every cell result is keyed on the four things that determine it bit for
+bit: the experiment name, the seed, a canonical hash of the cell config,
+and a fingerprint of the ``repro`` source tree.  Re-running a soak after an
+interrupt (or re-running it untouched) skips every completed cell; editing
+*any* source file under ``src/repro`` rotates the code fingerprint and
+invalidates the whole cache at once — deliberately coarse, because a cell's
+behaviour can depend on any module the simulation transitively imports.
+
+Entries are one JSON file per cell under ``root/<experiment>/<kk>/<key>.json``
+(two-level fan-out keeps directories small on big sweeps); writes go through
+a temp file + rename so a killed soak never leaves a torn entry behind.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+
+def config_hash(config):
+    """Canonical sha256 of a JSON-able config dict (key order immaterial)."""
+    canon = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+_CODE_FINGERPRINT = None
+
+
+def code_fingerprint():
+    """sha256 over every ``.py`` file in the installed ``repro`` package.
+
+    Memoised per process: the tree is read once per run, not once per cell.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        import repro
+
+        package_root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, package_root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+class ResultCache:
+    """Filesystem-backed cache of finished cell payloads."""
+
+    def __init__(self, root, fingerprint=None):
+        self.root = root
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def key_for(self, item):
+        """The cell's content address."""
+        material = "|".join((
+            item.experiment, str(int(item.seed)),
+            config_hash(item.config), self.fingerprint,
+        ))
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def path_for(self, item):
+        key = self.key_for(item)
+        return os.path.join(self.root, item.experiment, key[:2],
+                            key + ".json")
+
+    def get(self, item):
+        """The cached payload, or None (counts a hit or a miss)."""
+        path = self.path_for(item)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put(self, item, payload):
+        """Store a finished cell atomically (temp file + rename)."""
+        path = self.path_for(item)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            # the payload is all get() returns; the rest is for humans
+            # poking at the cache directory
+            "experiment": item.experiment,
+            "seed": int(item.seed),
+            "config": dict(item.config),
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes}

@@ -1,0 +1,77 @@
+"""Merging per-worker metrics snapshots into one aggregate.
+
+Workers ship *snapshots* (plain dicts from ``MetricsRegistry.snapshot``),
+not registries — raw histogram samples stay in the worker.  Merging is
+therefore exact for counters (sums) and gauge envelopes (min/max), and
+approximate for histograms: counts add and means combine count-weighted,
+but quantiles cannot be recomputed from summaries, so a merged histogram
+reports them only when a single worker contributed.  Merge order is the
+caller's (the runner feeds snapshots in shard order), which keeps the
+last-writer gauge value deterministic.
+"""
+
+
+def merge_snapshots(snapshots):
+    """Fold metric snapshots into one; returns a snapshot-shaped dict."""
+    merged = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, gauge in snap.get("gauges", {}).items():
+            _merge_gauge(merged["gauges"], name, gauge)
+        for name, hist in snap.get("histograms", {}).items():
+            _merge_histogram(merged["histograms"], name, hist)
+    merged["counters"] = dict(sorted(merged["counters"].items()))
+    merged["gauges"] = dict(sorted(merged["gauges"].items()))
+    merged["histograms"] = dict(sorted(merged["histograms"].items()))
+    return merged
+
+
+def _min_none(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _max_none(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+def _merge_gauge(gauges, name, gauge):
+    mine = gauges.get(name)
+    if mine is None:
+        gauges[name] = dict(gauge)
+        return
+    mine["min"] = _min_none(mine["min"], gauge["min"])
+    mine["max"] = _max_none(mine["max"], gauge["max"])
+    if gauge.get("value") is not None:
+        mine["value"] = gauge["value"]
+
+
+def _merge_histogram(histograms, name, hist):
+    mine = histograms.get(name)
+    if mine is None:
+        histograms[name] = dict(hist)
+        return
+    count = mine["count"] + hist["count"]
+    if count:
+        means = [(h["mean"], h["count"]) for h in (mine, hist)
+                 if h["mean"] is not None and h["count"]]
+        total = sum(mean * n for mean, n in means)
+        weight = sum(n for _mean, n in means)
+        mine["mean"] = total / weight if weight else None
+    mine["count"] = count
+    mine["min"] = _min_none(mine["min"], hist["min"])
+    mine["max"] = _max_none(mine["max"], hist["max"])
+    # Quantiles are not mergeable from summaries; drop them once two
+    # workers contribute rather than report a wrong number.
+    for key in [k for k in mine if k.startswith("p")]:
+        mine[key] = None

@@ -1,0 +1,139 @@
+"""The process-pool experiment runner.
+
+``ParallelRunner.run(items)`` fans a work-list of independent simulation
+cells across ``jobs`` spawn-started processes and returns their payloads
+*in work-list order* — the merge sorts by shard key, never completion
+order, so with deterministic cells the output is byte-identical to a
+serial run (``jobs=1`` executes the very same cell code path in-process,
+no pool at all).
+
+A :class:`~repro.par.cache.ResultCache` short-circuits completed cells
+before anything is dispatched: resumed soaks and repeated sweeps only pay
+for the cells they have not seen.  Fresh results are written back after the
+pool drains.
+"""
+
+import os
+import sys
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.par.metrics import merge_snapshots
+from repro.par.shard import merge_results, plan_shards
+from repro.par.worker import run_shard, worker_init
+
+
+@dataclass
+class RunStats:
+    """What one ``run()`` did; ``summary()`` is the one-line stderr form."""
+
+    cells: int = 0
+    cached: int = 0
+    executed: int = 0
+    jobs: int = 1
+    shards: int = 0
+    wall_s: float = 0.0
+    cell_wall_s: float = 0.0     # summed per-cell time (the serial cost)
+    cache: dict = field(default_factory=dict)
+
+    def summary(self):
+        line = ("par: {0.cells} cells, {0.cached} cached, {0.executed} "
+                "executed across {0.shards} shards on {0.jobs} jobs, "
+                "wall {0.wall_s:.2f}s (serial cost {0.cell_wall_s:.2f}s)"
+                .format(self))
+        if self.cells and self.cached == self.cells:
+            line += " — all cells cached"
+        return line
+
+
+class ParallelRunner:
+    """Fan a work-list across processes; merge deterministically."""
+
+    def __init__(self, jobs=1, cache=None, obs_metrics=False,
+                 oversubscribe=4):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1, got {}".format(jobs))
+        self.jobs = jobs
+        self.cache = cache
+        self.obs_metrics = obs_metrics
+        self.oversubscribe = oversubscribe
+        self.stats = RunStats(jobs=jobs)
+        #: merged per-worker ``repro.obs`` metrics (subprocess runs only;
+        #: in-process cells register with the parent's runtime directly)
+        self.obs_snapshot = None
+
+    def run(self, items):
+        """Execute every cell; returns payloads ordered by work-list index."""
+        items = list(items)
+        start = perf_counter()
+        self.stats = RunStats(jobs=self.jobs, cells=len(items))
+        self.obs_snapshot = None
+
+        indexed = []      # (index, payload) from cache and pool alike
+        todo = []
+        for item in items:
+            payload = self.cache.get(item) if self.cache else None
+            if payload is not None:
+                indexed.append((item.index, payload))
+            else:
+                todo.append(item)
+        self.stats.cached = len(indexed)
+        self.stats.executed = len(todo)
+
+        by_index = {item.index: item for item in todo}
+        shards = plan_shards(todo, self.jobs,
+                             oversubscribe=self.oversubscribe)
+        self.stats.shards = len(shards)
+        if self.jobs == 1 or len(shards) <= 1:
+            shard_results = [run_shard([item.spec() for item in shard])
+                             for shard in shards]
+        else:
+            shard_results = self._run_pool(shards)
+
+        metric_snaps = []
+        for result in shard_results:
+            for cell in result["cells"]:
+                index = cell["index"]
+                payload = cell["payload"]
+                self.stats.cell_wall_s += cell["wall_s"]
+                indexed.append((index, payload))
+                if self.cache is not None:
+                    self.cache.put(by_index[index], payload)
+            if result["metrics"] is not None:
+                metric_snaps.append(result["metrics"])
+        if metric_snaps:
+            self.obs_snapshot = merge_snapshots(metric_snaps)
+
+        if self.cache is not None:
+            self.stats.cache = self.cache.stats()
+        self.stats.wall_s = perf_counter() - start
+        return merge_results(indexed, len(items))
+
+    def _run_pool(self, shards):
+        """Dispatch shards to a spawn pool; results come back per shard."""
+        from concurrent.futures import ProcessPoolExecutor
+        from multiprocessing import get_context
+
+        # Whatever path the parent imported repro from must be visible to
+        # the spawned interpreter too (PYTHONPATH=src runs, editable
+        # installs from a different cwd, ...).
+        import repro
+
+        package_parent = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__)))
+        path_entries = [package_parent] + [
+            entry for entry in sys.path if entry]
+
+        workers = min(self.jobs, len(shards))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=get_context("spawn"),
+            initializer=worker_init,
+            initargs=(path_entries, self.obs_metrics),
+        ) as pool:
+            futures = [pool.submit(run_shard,
+                                   [item.spec() for item in shard])
+                       for shard in shards]
+            # Collect in submission (shard) order: results land whenever,
+            # but gauge last-writer merges stay deterministic this way.
+            return [future.result() for future in futures]

@@ -1,0 +1,93 @@
+"""Work items and the shard scheduler.
+
+A parallel run is a flat list of :class:`WorkItem` cells — one independent
+(experiment, seed, config) simulation each.  The scheduler's only job is to
+split that list into shards for the worker pool; the *merge* is where
+determinism lives: results are reassembled by each item's ``index`` (its
+position in the original work-list, the shard key), never by completion
+order, so a parallel run is byte-identical to the serial one no matter how
+the pool interleaves.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One independent simulation cell.
+
+    ``runner`` names a module-level function as ``"package.module:func"``;
+    spawn-started workers import it by name, so nothing but primitives ever
+    crosses the process boundary.  The function is called as
+    ``func(seed, config)`` and must return a JSON-serialisable payload
+    (that is also what the result cache stores).
+    """
+
+    experiment: str          # campaign name ("faults", "sweep", ...)
+    runner: str              # spawn-safe dotted entry point
+    seed: int
+    config: dict = field(default_factory=dict)   # JSON-able cell parameters
+    index: int = 0           # position in the work-list == the shard key
+
+    def spec(self):
+        """The picklable/JSON-able wire form workers receive."""
+        return {
+            "experiment": self.experiment,
+            "runner": self.runner,
+            "seed": int(self.seed),
+            "config": dict(self.config),
+            "index": int(self.index),
+        }
+
+
+def work_list(experiment, runner, cells):
+    """Build an indexed work-list from ``(seed, config)`` pairs."""
+    return [
+        WorkItem(experiment=experiment, runner=runner, seed=seed,
+                 config=config, index=index)
+        for index, (seed, config) in enumerate(cells)
+    ]
+
+
+def plan_shards(items, jobs, oversubscribe=4):
+    """Split ``items`` into round-robin shards for a ``jobs``-worker pool.
+
+    Round-robin interleaving spreads adjacent cells — which tend to share a
+    cost profile (same scenario at different seeds) — across shards, and
+    oversubscribing the pool (more shards than workers) lets fast workers
+    pick up extra shards instead of idling behind a slow one.  The shard
+    layout affects wall-clock only; the merge reorders by item index.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1, got {}".format(jobs))
+    n_shards = min(len(items), max(1, jobs) * max(1, oversubscribe))
+    if n_shards <= 1:
+        return [list(items)] if items else []
+    shards = [[] for _ in range(n_shards)]
+    for position, item in enumerate(items):
+        shards[position % n_shards].append(item)
+    return shards
+
+
+def merge_results(indexed_payloads, n_items):
+    """Order payloads by shard key; completion order never leaks through.
+
+    ``indexed_payloads`` is an iterable of ``(index, payload)`` in *any*
+    order (the pool's completion order).  Raises if a cell is missing or
+    duplicated — a partial merge silently reordering would defeat the
+    bit-identity guarantee.
+    """
+    slots = [None] * n_items
+    seen = [False] * n_items
+    for index, payload in indexed_payloads:
+        if not 0 <= index < n_items:
+            raise ValueError("result index {} outside work-list of {}".format(
+                index, n_items))
+        if seen[index]:
+            raise ValueError("duplicate result for cell {}".format(index))
+        seen[index] = True
+        slots[index] = payload
+    missing = [i for i, ok in enumerate(seen) if not ok]
+    if missing:
+        raise ValueError("missing results for cells {}".format(missing[:8]))
+    return slots

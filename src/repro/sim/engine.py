@@ -120,14 +120,21 @@ class Simulator:
             tracer = obs.tracer
             tracer._enter_event(event.ctx)
         profile = self.profile
-        if profile is not None:
-            start = perf_counter()
-            event.fn(*event.args)
-            profile.record(event.fn, perf_counter() - start)
-        else:
-            event.fn(*event.args)
-        if tracer is not None:
-            tracer._exit_event()
+        try:
+            if profile is not None:
+                start = perf_counter()
+                try:
+                    event.fn(*event.args)
+                finally:
+                    profile.record(event.fn, perf_counter() - start)
+            else:
+                event.fn(*event.args)
+        finally:
+            # A raising handler must still close the tracer's event scope:
+            # callers that catch and keep stepping would otherwise see this
+            # event's context leak into every later cascade.
+            if tracer is not None:
+                tracer._exit_event()
 
     def pending(self):
         """Number of live events still queued."""

@@ -13,7 +13,7 @@ class Event:
     lazily when they surface.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "ctx")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "ctx", "_queue")
 
     def __init__(self, time, seq, fn, args):
         self.time = time
@@ -25,10 +25,20 @@ class Event:
         # scheduled (see repro.obs.tracer).  None unless an observability
         # session is installed; the simulator stamps it.
         self.ctx = None
+        # Back-reference to the owning queue while the event is queued and
+        # live; cleared on pop and on cancel so the queue's live-event
+        # counter moves exactly once per event.
+        self._queue = None
 
     def cancel(self):
         """Prevent this event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._live -= 1
 
     def __lt__(self, other):
         return (self.time, self.seq) < (other.time, other.seq)
@@ -46,12 +56,19 @@ class EventQueue:
     def __init__(self):
         self._heap = []
         self._counter = itertools.count()
+        # Live (queued, not cancelled) events.  ``cancel`` decrements it
+        # immediately, so ``len(queue)`` never counts dead heap entries —
+        # lazy prunes in ``pop``/``peek_time`` only discard corpses whose
+        # count already moved.
+        self._live = 0
 
     def __len__(self):
-        return len(self._heap)
+        return self._live
 
     def push(self, time, fn, args):
         event = Event(time, next(self._counter), fn, args)
+        event._queue = self
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -60,6 +77,8 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                event._queue = None
+                self._live -= 1
                 return event
         return None
 

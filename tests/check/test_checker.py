@@ -89,3 +89,21 @@ def test_strict_mode_raises_on_first_violation():
 def test_violation_cap_bounds_the_report():
     report = CheckReport(max_violations=2)
     assert report.max_violations == 2
+
+
+def test_shootdown_dedup_key_is_stable_identity():
+    """Regression: flagged shootdown episodes were deduped by ``id()``,
+    which CPython reuses — a later episode could collide with a flagged
+    one's address and go unreported, nondeterministically across processes
+    (the parallel runner's workers exposed it as a per-hash-seed violation
+    count)."""
+    work = build_workload("mixed", 1)
+    scenario("ipi-delay-extreme").build_plan(work.platform.sim)
+    checker = InvariantChecker(work.kernel).attach()
+    work.platform.sim.run(until=work.horizon_ns)
+    assert checker._flagged_cosched
+    # every dedup key is (app id, episode start), never a memory address
+    for key in checker._flagged_cosched:
+        app_id, started_at = key
+        assert isinstance(app_id, int)
+        assert isinstance(started_at, int)

@@ -19,6 +19,7 @@ DRIVER_MODULES = {
     "sidechannel": "repro.experiments.sidechannel_exp",
     "powercap": "repro.experiments.powercap_exp",
     "faults": "repro.experiments.faults_exp",
+    "sweep": "repro.experiments.sweep",
 }
 
 

@@ -1,0 +1,75 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+import os
+
+from repro.par import ResultCache, WorkItem, code_fingerprint, config_hash
+
+
+def _item(seed=0, config=None, experiment="t"):
+    return WorkItem(experiment, "m:f", seed=seed,
+                    config=config if config is not None else {"a": 1},
+                    index=0)
+
+
+def test_config_hash_is_key_order_insensitive():
+    assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+    assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+
+def test_code_fingerprint_stable_and_memoized():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    payload = {"value": 42, "nested": [1, 2, {"x": "y"}]}
+    cache.put(_item(), payload)
+    assert cache.get(_item()) == payload
+    assert cache.stats() == {"hits": 1, "misses": 0, "writes": 1}
+
+
+def test_get_miss_counts(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    assert cache.get(_item()) is None
+    assert cache.stats()["misses"] == 1
+
+
+def test_key_varies_with_every_component(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    base = cache.key_for(_item())
+    assert cache.key_for(_item(seed=1)) != base
+    assert cache.key_for(_item(config={"a": 2})) != base
+    assert cache.key_for(_item(experiment="u")) != base
+    other = ResultCache(str(tmp_path), fingerprint="f" * 64)
+    assert other.key_for(_item()) != base
+
+
+def test_code_change_invalidates(tmp_path):
+    """A different code fingerprint misses entries written under the old."""
+    old = ResultCache(str(tmp_path), fingerprint="old" * 16)
+    old.put(_item(), {"value": 1})
+    fresh = ResultCache(str(tmp_path), fingerprint="new" * 16)
+    assert fresh.get(_item()) is None
+
+
+def test_entries_fan_out_under_experiment_dirs(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_item(experiment="faults"), {"v": 1})
+    path = cache.path_for(_item(experiment="faults"))
+    assert os.path.exists(path)
+    assert os.path.relpath(path, str(tmp_path)).startswith("faults" + os.sep)
+    # entry is honest JSON with the cell identity alongside the payload
+    with open(path) as handle:
+        entry = json.load(handle)
+    assert entry["experiment"] == "faults"
+    assert entry["payload"] == {"v": 1}
+
+
+def test_torn_entry_reads_as_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_item(), {"v": 1})
+    with open(cache.path_for(_item()), "w") as handle:
+        handle.write("{not json")
+    assert cache.get(_item()) is None

@@ -1,0 +1,83 @@
+"""Unit tests for work items, the shard planner, and the merge."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.par import WorkItem, merge_results, plan_shards, work_list
+
+
+def _items(n):
+    return work_list("t", "repro.par.testing:square_cell",
+                     [(seed, {}) for seed in range(n)])
+
+
+def test_work_list_indexes_in_order():
+    items = work_list("t", "m:f", [(5, {"a": 1}), (9, {"b": 2})])
+    assert [item.index for item in items] == [0, 1]
+    assert [item.seed for item in items] == [5, 9]
+    assert items[0].experiment == "t"
+
+
+def test_spec_is_primitive():
+    item = WorkItem("t", "m:f", seed=3, config={"x": 1}, index=7)
+    spec = item.spec()
+    assert spec == {"experiment": "t", "runner": "m:f", "seed": 3,
+                    "config": {"x": 1}, "index": 7}
+    # a copy, not a view
+    spec["config"]["x"] = 99
+    assert item.config["x"] == 1
+
+
+def test_plan_shards_partitions_exactly():
+    items = _items(23)
+    shards = plan_shards(items, jobs=4)
+    flattened = sorted((item.index for shard in shards for item in shard))
+    assert flattened == list(range(23))
+    assert len(shards) <= 4 * 4
+
+
+def test_plan_shards_round_robin_interleaves():
+    items = _items(8)
+    shards = plan_shards(items, jobs=2, oversubscribe=2)
+    assert len(shards) == 4
+    assert [item.index for item in shards[0]] == [0, 4]
+    assert [item.index for item in shards[1]] == [1, 5]
+
+
+def test_plan_shards_single_job_single_shard():
+    items = _items(5)
+    shards = plan_shards(items, jobs=1, oversubscribe=1)
+    assert len(shards) == 1
+    assert [item.index for item in shards[0]] == [0, 1, 2, 3, 4]
+
+
+def test_plan_shards_empty_and_invalid():
+    assert plan_shards([], jobs=4) == []
+    with pytest.raises(ValueError):
+        plan_shards(_items(3), jobs=0)
+
+
+def test_merge_orders_by_index_not_arrival():
+    merged = merge_results([(2, "c"), (0, "a"), (1, "b")], 3)
+    assert merged == ["a", "b", "c"]
+
+
+def test_merge_rejects_missing_duplicate_and_stray():
+    with pytest.raises(ValueError, match="missing"):
+        merge_results([(0, "a")], 2)
+    with pytest.raises(ValueError, match="duplicate"):
+        merge_results([(0, "a"), (0, "b")], 1)
+    with pytest.raises(ValueError, match="outside"):
+        merge_results([(5, "a")], 2)
+
+
+@given(st.integers(min_value=0, max_value=200),
+       st.integers(min_value=1, max_value=16),
+       st.integers(min_value=1, max_value=8))
+def test_plan_shards_property_exact_partition(n, jobs, oversubscribe):
+    items = _items(n)
+    shards = plan_shards(items, jobs, oversubscribe=oversubscribe)
+    flattened = sorted(item.index for shard in shards for item in shard)
+    assert flattened == list(range(n))
+    assert all(shard for shard in shards)

@@ -115,6 +115,58 @@ def test_pending_counts_live_events():
     assert sim.pending() == 2
 
 
+def test_pending_excludes_cancelled_events():
+    """Regression: pending() overreported by counting cancelled events."""
+    sim = Simulator()
+    ev = sim.call_later(1, lambda: None)
+    sim.call_later(2, lambda: None)
+    ev.cancel()
+    assert sim.pending() == 1
+
+
+def test_dispatch_restores_tracer_scope_when_handler_raises():
+    """Regression: a raising handler skipped tracer._exit_event, leaking
+    its event context into every later cascade for callers that catch and
+    keep stepping."""
+    from repro.obs import Obs
+
+    sim = Simulator()
+    obs = Obs(sim, tracing=True).install()
+    fired = []
+
+    def boom():
+        with obs.tracer.span("doomed"):
+            raise RuntimeError("handler failure")
+
+    sim.call_later(1, boom)
+    sim.call_later(2, fired.append, "after")
+    with pytest.raises(RuntimeError):
+        sim.run()
+    # The event scope must be closed despite the exception ...
+    assert obs.tracer.current is None
+    # ... so stepping on works and the next cascade starts clean.
+    sim.run()
+    assert fired == ["after"]
+    assert obs.tracer.current is None
+
+
+def test_dispatch_records_profile_sample_when_handler_raises():
+    """Regression: the perf_counter sample was lost on a raising handler."""
+    from repro.obs import EventLoopProfiler
+
+    sim = Simulator()
+    profiler = EventLoopProfiler()
+    profiler.install(sim)
+
+    def boom():
+        raise RuntimeError("handler failure")
+
+    sim.call_later(1, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    assert sum(calls for _key, (calls, _s) in profiler.stats.items()) == 1
+
+
 def test_rng_registry_is_deterministic():
     a = Simulator(seed=42).rng.stream("x").random()
     b = Simulator(seed=42).rng.stream("x").random()

@@ -57,6 +57,50 @@ def test_len_counts_pushed_events():
     assert len(q) == 2
 
 
+def test_len_excludes_cancelled_events():
+    """Regression: cancelled-but-unpruned events must not count as live."""
+    q = make_queue()
+    ev = q.push(1, lambda: None, ())
+    q.push(2, lambda: None, ())
+    ev.cancel()
+    assert len(q) == 1
+    ev.cancel()                      # idempotent: no double decrement
+    assert len(q) == 1
+
+
+def test_len_survives_lazy_prune():
+    """The prune in pop/peek_time drops corpses already discounted."""
+    q = make_queue()
+    dead = [q.push(t, lambda: None, ()) for t in (1, 2, 3)]
+    keep = q.push(4, lambda: None, ())
+    for ev in dead:
+        ev.cancel()
+    assert len(q) == 1
+    assert q.peek_time() == 4        # prunes the three corpses
+    assert len(q) == 1
+    assert q.pop() is keep
+    assert len(q) == 0
+
+
+def test_pop_decrements_len():
+    q = make_queue()
+    q.push(1, lambda: None, ())
+    q.push(2, lambda: None, ())
+    q.pop()
+    assert len(q) == 1
+    q.pop()
+    assert len(q) == 0
+
+
+def test_cancel_after_pop_does_not_underflow():
+    q = make_queue()
+    ev = q.push(1, lambda: None, ())
+    q.push(2, lambda: None, ())
+    assert q.pop() is ev
+    ev.cancel()                      # already fired: count must not move
+    assert len(q) == 1
+
+
 def test_cancel_is_idempotent():
     q = make_queue()
     ev = q.push(1, lambda: None, ())

@@ -1,0 +1,60 @@
+"""Property test: ``pending()`` under cancel-heavy schedules.
+
+The contract the live-event counter must keep: after *any* interleaving of
+``at``/``call_soon``/``cancel`` (including double cancels and cancels of
+already-cancelled events), ``pending()`` equals exactly the number of
+events that subsequently fire.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+#: one schedule operation: ("at", dt) | ("soon",) | ("cancel", index)
+#: cancel targets are taken modulo the handles scheduled so far.
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("at"), st.integers(min_value=0, max_value=50)),
+        st.tuples(st.just("soon")),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=200)),
+    ),
+    max_size=120,
+)
+
+
+@given(_OPS)
+@settings(max_examples=200, deadline=None)
+def test_pending_equals_events_that_fire(ops):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for op in ops:
+        if op[0] == "at":
+            handles.append(sim.at(op[1], fired.append, len(handles)))
+        elif op[0] == "soon":
+            handles.append(sim.call_soon(fired.append, len(handles)))
+        else:
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+    expected = sim.pending()
+    sim.run()
+    assert len(fired) == expected
+    assert sim.pending() == 0
+
+
+@given(_OPS)
+@settings(max_examples=100, deadline=None)
+def test_pending_matches_live_handles(ops):
+    """Cross-check: pending() equals the handles not yet cancelled."""
+    sim = Simulator()
+    handles = []
+    for op in ops:
+        if op[0] == "at":
+            handles.append(sim.at(op[1], lambda: None))
+        elif op[0] == "soon":
+            handles.append(sim.call_soon(lambda: None))
+        else:
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+    assert sim.pending() == sum(1 for ev in handles if not ev.cancelled)
