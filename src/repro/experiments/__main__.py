@@ -177,13 +177,16 @@ def _result_cache(args):
 
 def _print_par_stats(runner, jobs, cache):
     """Runner stats go to stderr: the stdout report must stay byte-identical
-    between serial and parallel runs (the differential test's contract)."""
+    between serial and parallel runs (the differential test's contract).
+    The merged worker metrics exist only when jobs > 1 (in-process cells
+    register with the parent's runtime instead), so they go to stderr for
+    the same reason."""
     if jobs > 1 or cache is not None:
         print(runner.stats.summary(), file=sys.stderr)
     if runner.obs_snapshot is not None:
         from repro.obs import format_metrics_table
 
-        print(format_metrics_table(runner.obs_snapshot))
+        print(format_metrics_table(runner.obs_snapshot), file=sys.stderr)
 
 
 def _print_campaign_table(campaign):
@@ -238,10 +241,15 @@ def run_sweep(args=None):
     jobs = getattr(args, "jobs", 1) if args is not None else 1
     cache = _result_cache(args)
     only = getattr(args, "only", None) if args is not None else None
-    payloads, runner = _run(
-        only.split(",") if only else None, jobs=jobs, cache=cache,
-        obs_metrics=obs_runtime.is_active() and jobs > 1,
-    )
+    try:
+        payloads, runner = _run(
+            only.split(",") if only else None, jobs=jobs, cache=cache,
+            obs_metrics=obs_runtime.is_active() and jobs > 1,
+        )
+    except ValueError as exc:
+        # unknown --only cells: a clean CLI error, not a CellError from
+        # deep inside a worker
+        raise SystemExit("error: {}".format(exc))
     for payload in payloads:
         print("== {} ==".format(payload["cell"]))
         print(payload["text"], end="")
@@ -315,6 +323,15 @@ def main(argv=None):
             parser.error("unknown experiment {!r} (try --list)".format(name))
 
     observing = bool(args.trace or args.metrics or args.profile is not None)
+    if (args.jobs > 1 and (args.trace or args.profile is not None)
+            and any(name in NEEDS_ARGS for name in names)):
+        # workers arm metrics only — span/sample streams are too hot to
+        # ship across the process boundary, so parallel cells are invisible
+        # to --trace/--profile
+        print("warning: --trace/--profile cover only the parent process; "
+              "cells run with --jobs {} are not traced or profiled "
+              "(use --jobs 1, or --metrics for aggregated counters)"
+              .format(args.jobs), file=sys.stderr)
     if observing:
         obs_runtime.configure(
             tracing=args.trace is not None,

@@ -60,7 +60,14 @@ def run_sweep_cell(seed, config):
 
 
 def sweep_items(names=None):
+    """The sweep's work-list; unknown cell names are a ValueError here,
+    before anything reaches a worker (where a typo — or ``"sweep"`` itself,
+    which would recurse — would surface as an opaque CellError)."""
     names = cell_names() if names is None else list(names)
+    unknown = sorted(set(names) - set(cell_names()))
+    if unknown:
+        raise ValueError("unknown sweep cells: {} (available: {})".format(
+            ", ".join(unknown), ", ".join(cell_names())))
     return work_list("sweep", CELL_RUNNER,
                      [(0, {"cell": name}) for name in names])
 
@@ -87,12 +94,11 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     names = args.only.split(",") if args.only else None
-    unknown = set(names or ()) - set(cell_names())
-    if unknown:
-        parser.error("unknown cells: {} (available: {})".format(
-            ", ".join(sorted(unknown)), ", ".join(cell_names())))
     cache = ResultCache(args.cache) if args.cache else None
-    payloads, runner = run_sweep(names, jobs=args.jobs, cache=cache)
+    try:
+        payloads, runner = run_sweep(names, jobs=args.jobs, cache=cache)
+    except ValueError as exc:
+        parser.error(str(exc))
     for payload in payloads:
         print("== {} ==".format(payload["cell"]))
         print(payload["text"], end="")

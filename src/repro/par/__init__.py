@@ -18,7 +18,7 @@ Typical use::
     payloads = runner.run(items)        # ordered by work-list index
 """
 
-from repro.par.cache import ResultCache, code_fingerprint, config_hash
+from repro.par.cache import MISS, ResultCache, code_fingerprint, config_hash
 from repro.par.metrics import merge_snapshots
 from repro.par.runner import ParallelRunner, RunStats
 from repro.par.shard import WorkItem, merge_results, plan_shards, work_list
@@ -26,6 +26,7 @@ from repro.par.worker import CellError, resolve_runner, run_cell, run_shard
 
 __all__ = [
     "CellError",
+    "MISS",
     "ParallelRunner",
     "ResultCache",
     "RunStats",

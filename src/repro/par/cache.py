@@ -18,6 +18,12 @@ import json
 import os
 import tempfile
 
+#: What :meth:`ResultCache.get` returns on a miss.  A sentinel rather than
+#: ``None`` because ``None`` is a perfectly good cached payload — without
+#: the distinction a None-valued cell would be re-executed and re-written
+#: on every run.
+MISS = object()
+
 
 def config_hash(config):
     """Canonical sha256 of a JSON-able config dict (key order immaterial)."""
@@ -76,16 +82,22 @@ class ResultCache:
                             key + ".json")
 
     def get(self, item):
-        """The cached payload, or None (counts a hit or a miss)."""
+        """The cached payload, or :data:`MISS` (counts a hit or a miss).
+
+        Any unreadable entry — absent, torn JSON, or a JSON value that is
+        not an object carrying ``"payload"`` — reads as a miss; the cell
+        simply re-runs and rewrites it.
+        """
         path = self.path_for(item)
         try:
             with open(path) as handle:
                 entry = json.load(handle)
-        except (OSError, ValueError):
+            payload = entry["payload"]
+        except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
-            return None
+            return MISS
         self.hits += 1
-        return entry["payload"]
+        return payload
 
     def put(self, item, payload):
         """Store a finished cell atomically (temp file + rename)."""

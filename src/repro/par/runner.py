@@ -18,6 +18,7 @@ import sys
 from dataclasses import dataclass, field
 from time import perf_counter
 
+from repro.par.cache import MISS
 from repro.par.metrics import merge_snapshots
 from repro.par.shard import merge_results, plan_shards
 from repro.par.worker import run_shard, worker_init
@@ -72,8 +73,8 @@ class ParallelRunner:
         indexed = []      # (index, payload) from cache and pool alike
         todo = []
         for item in items:
-            payload = self.cache.get(item) if self.cache else None
-            if payload is not None:
+            payload = self.cache.get(item) if self.cache else MISS
+            if payload is not MISS:
                 indexed.append((item.index, payload))
             else:
                 todo.append(item)

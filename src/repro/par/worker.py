@@ -26,6 +26,15 @@ class CellError(RuntimeError):
     """A cell's runner raised; carries the cell identity for triage."""
 
 
+#: True only in a pool child whose :func:`worker_init` armed metrics.  The
+#: parent's serial path (jobs=1 / single shard) calls :func:`run_shard`
+#: in-process, where draining would destroy sessions the CLI's ``--trace``/
+#: ``--metrics`` export still needs — so the drain keys off this flag, never
+#: off ``obs_runtime.is_active()`` (which is also true in an observing
+#: parent).
+_drain_metrics = False
+
+
 def resolve_runner(dotted):
     """``"package.module:func"`` -> the callable (imported in-process)."""
     module_name, _sep, func_name = dotted.partition(":")
@@ -62,13 +71,15 @@ def run_shard(cell_specs):
     """Run a whole shard in order; the pool's unit of dispatch.
 
     Returns ``{"cells": [...], "metrics": merged-snapshot-or-None}``.  The
-    metrics half is only populated when this process's observability
-    runtime is armed (see :func:`worker_init`); the sessions are drained so
-    the next shard this worker picks up starts from zero.
+    metrics half is only populated in a pool child whose
+    :func:`worker_init` armed metrics; the sessions are drained so the next
+    shard this worker picks up starts from zero.  In-process callers (the
+    runner's serial path) always get ``metrics=None`` and their runtime is
+    left untouched.
     """
     cells = [run_cell(spec) for spec in cell_specs]
     metrics = None
-    if obs_runtime.is_active():
+    if _drain_metrics:
         drained = obs_runtime.drain_sessions()
         if drained:
             metrics = metrics_snapshot(drained)["merged"]
@@ -87,4 +98,6 @@ def worker_init(sys_path_entries, obs_metrics):
         if entry not in sys.path:
             sys.path.insert(0, entry)
     if obs_metrics:
+        global _drain_metrics
         obs_runtime.configure(tracing=False, metrics=True, profiling=False)
+        _drain_metrics = True

@@ -44,6 +44,22 @@ def test_registry_covers_every_eval_section():
     assert set(EXPERIMENTS) == set(DRIVER_MODULES)
 
 
+def test_sweep_items_validates_names():
+    """Typos fail fast in the library entry point, not as a CellError deep
+    inside a worker; 'sweep' itself is rejected (it would recurse)."""
+    from repro.experiments.sweep import sweep_items
+
+    with pytest.raises(ValueError, match="unknown sweep cells: bogus"):
+        sweep_items(["fig3", "bogus"])
+    with pytest.raises(ValueError, match="unknown sweep cells: sweep"):
+        sweep_items(["sweep"])
+
+
+def test_sweep_unknown_only_cell_is_clean_cli_error(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--only", "bogus"])
+
+
 @pytest.mark.parametrize("name", sorted(DRIVER_MODULES))
 def test_driver_module_imports(name):
     """Every registered subcommand's driver imports cleanly."""

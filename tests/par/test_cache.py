@@ -3,7 +3,7 @@
 import json
 import os
 
-from repro.par import ResultCache, WorkItem, code_fingerprint, config_hash
+from repro.par import MISS, ResultCache, WorkItem, code_fingerprint, config_hash
 
 
 def _item(seed=0, config=None, experiment="t"):
@@ -32,8 +32,29 @@ def test_put_get_roundtrip(tmp_path):
 
 def test_get_miss_counts(tmp_path):
     cache = ResultCache(str(tmp_path))
-    assert cache.get(_item()) is None
+    assert cache.get(_item()) is MISS
     assert cache.stats()["misses"] == 1
+
+
+def test_cached_none_payload_is_a_hit(tmp_path):
+    """None is a legitimate payload, distinguishable from a miss."""
+    cache = ResultCache(str(tmp_path))
+    cache.put(_item(), None)
+    assert cache.get(_item()) is None
+    assert cache.stats() == {"hits": 1, "misses": 0, "writes": 1}
+
+
+def test_entry_without_payload_key_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_item(), {"v": 1})
+    path = cache.path_for(_item())
+    with open(path, "w") as handle:
+        json.dump({"experiment": "t"}, handle)     # valid JSON, no payload
+    assert cache.get(_item()) is MISS
+    with open(path, "w") as handle:
+        json.dump([1, 2, 3], handle)               # not even an object
+    assert cache.get(_item()) is MISS
+    assert cache.stats()["misses"] == 2
 
 
 def test_key_varies_with_every_component(tmp_path):
@@ -51,7 +72,7 @@ def test_code_change_invalidates(tmp_path):
     old = ResultCache(str(tmp_path), fingerprint="old" * 16)
     old.put(_item(), {"value": 1})
     fresh = ResultCache(str(tmp_path), fingerprint="new" * 16)
-    assert fresh.get(_item()) is None
+    assert fresh.get(_item()) is MISS
 
 
 def test_entries_fan_out_under_experiment_dirs(tmp_path):
@@ -72,4 +93,4 @@ def test_torn_entry_reads_as_miss(tmp_path):
     cache.put(_item(), {"v": 1})
     with open(cache.path_for(_item()), "w") as handle:
         handle.write("{not json")
-    assert cache.get(_item()) is None
+    assert cache.get(_item()) is MISS

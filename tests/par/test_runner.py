@@ -118,3 +118,30 @@ def test_serial_path_leaves_parent_obs_runtime_alone():
                          [(0, {"horizon_ns": 10_000})]))
     assert runner.obs_snapshot is None
     assert not obs_runtime.is_active()
+
+
+def test_serial_path_preserves_observing_parent_sessions():
+    """Regression: with the parent's runtime armed (--trace/--metrics), an
+    in-process run_shard must NOT drain the accumulated sessions — the
+    CLI's export step still needs them, including ones from experiments
+    that ran earlier in the same invocation."""
+    from repro.obs import runtime as obs_runtime
+
+    obs_runtime.configure(tracing=False, metrics=True, profiling=False)
+    try:
+        # a session from an "earlier experiment" in the same invocation
+        import repro.par.testing as testing
+
+        testing.sim_cell(7, {"horizon_ns": 5_000})
+        assert len(obs_runtime.sessions()) == 1
+
+        runner = ParallelRunner(jobs=1)
+        runner.run(work_list("demo", "repro.par.testing:sim_cell",
+                             [(0, {"horizon_ns": 10_000}),
+                              (1, {"horizon_ns": 10_000})]))
+        # worker metrics come back only from pool children; in-process
+        # cells stay in the parent's sessions for _export_observability
+        assert runner.obs_snapshot is None
+        assert len(obs_runtime.sessions()) == 3
+    finally:
+        obs_runtime.reset()
