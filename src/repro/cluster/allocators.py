@@ -1,0 +1,155 @@
+"""Global cap allocators: how the datacenter budget becomes node caps.
+
+Each epoch the cluster hands an allocator one :class:`NodeTelemetry` per
+node and the datacenter budget; the allocator returns every node's root
+cap for the next epoch.  Two implementations ship behind the same
+:class:`GlobalAllocator` protocol so the experiment can compare them
+head-to-head:
+
+* :class:`WaterFillingAllocator` — the nvPAX-style constrained
+  optimization: each node is granted ``min(demand, weighted share)`` by
+  the same pure :func:`~repro.powercap.waterfill` pass the single-board
+  budget tree uses, floors keep idle nodes alive, a slow integral trim
+  squeezes out the residual between the *measured* aggregate and the
+  budget, and leftover budget is returned weight-proportionally (grants
+  are permissions).  Quiet nodes automatically free budget for busy ones
+  — slack redistribution at datacenter scope.
+* :class:`PIBaselineAllocator` — the PR-1 PI controller lifted one level:
+  static weighted shares scaled by one global PI loop on the aggregate
+  error.  It tracks the cap but moves every node in lockstep, so an idle
+  node's slack is never re-aimed at a hot one.
+"""
+
+from dataclasses import dataclass
+
+from repro.powercap import waterfill
+
+
+@dataclass(frozen=True)
+class NodeTelemetry:
+    """One node's epoch readout, as the global loop sees it."""
+
+    name: str
+    measured_w: float        # mean aggregate rail draw over the epoch
+    demand_w: float          # unthrottled-demand estimate (incl. overhead)
+    cap_w: float             # root cap in force during the epoch
+    weight: float = 1.0
+
+
+class GlobalAllocator:
+    """Protocol: ``allocate(telemetry, budget_w, dt_s) -> {node: cap_w}``."""
+
+    name = "abstract"
+
+    def reset(self):
+        """Forget controller state (fresh run)."""
+
+    def allocate(self, telemetry, budget_w, dt_s):
+        raise NotImplementedError
+
+    def static_shares(self, telemetry, budget_w):
+        """The weight-proportional division — every allocator's reference."""
+        total = sum(t.weight for t in telemetry)
+        return {t.name: budget_w * t.weight / total for t in telemetry}
+
+
+class WaterFillingAllocator(GlobalAllocator):
+    """Constrained-optimization division of the budget over node demands."""
+
+    name = "waterfill"
+
+    def __init__(self, floor_w=0.5, kp=0.6, ki=2.0, trim_fraction=0.3):
+        if floor_w < 0:
+            raise ValueError("floor must be non-negative")
+        self.floor_w = floor_w
+        self.kp = kp
+        self.ki = ki
+        self.trim_fraction = trim_fraction
+        self._trim_w = 0.0
+
+    def reset(self):
+        self._trim_w = 0.0
+
+    def allocate(self, telemetry, budget_w, dt_s):
+        telemetry = list(telemetry)
+        if not telemetry:
+            return {}
+        aggregate = sum(t.measured_w for t in telemetry)
+        # Outer trim on the *measured* aggregate: per-node controllers
+        # enforce their caps only to within their own model error, and the
+        # sum of those residuals is a bias this integrator removes; the
+        # proportional term covers the epochs the integrator needs to
+        # wind up after a demand swing.
+        error = budget_w - aggregate
+        limit = self.trim_fraction * budget_w
+        self._trim_w = _clip(self._trim_w + self.ki * error * dt_s,
+                             -limit, limit)
+        available = max(0.0, budget_w + self._trim_w + self.kp * error)
+
+        weights = [t.weight for t in telemetry]
+        total_weight = sum(weights)
+        # Floors first: every node keeps enough cap for its idle platform
+        # even at zero demand (a cap below the idle floor just saturates
+        # the node's throttles without saving the difference).
+        floors = [min(self.floor_w, available * w / total_weight)
+                  for w in weights]
+        remaining = max(0.0, available - sum(floors))
+        over_floor = [max(0.0, t.demand_w - f)
+                      for t, f in zip(telemetry, floors)]
+        grants = waterfill(over_floor, weights, remaining)
+        caps = [f + g for f, g in zip(floors, grants)]
+        # Leftover budget (total demand below the line) is returned
+        # weight-proportionally: caps are permissions, and a node whose
+        # demand estimate lagged a burst ramps without waiting an epoch.
+        leftover = available - sum(caps)
+        if leftover > 0:
+            caps = [c + leftover * w / total_weight
+                    for c, w in zip(caps, weights)]
+        return {t.name: c for t, c in zip(telemetry, caps)}
+
+
+class PIBaselineAllocator(GlobalAllocator):
+    """Static shares under one global PI loop (the single-board law)."""
+
+    name = "pi"
+
+    def __init__(self, kp=0.5, ki=2.0, scale_span=0.5):
+        self.kp = kp
+        self.ki = ki
+        self.scale_span = scale_span
+        self._integral = 0.0
+
+    def reset(self):
+        self._integral = 0.0
+
+    def allocate(self, telemetry, budget_w, dt_s):
+        telemetry = list(telemetry)
+        if not telemetry:
+            return {}
+        shares = self.static_shares(telemetry, budget_w)
+        aggregate = sum(t.measured_w for t in telemetry)
+        error = (budget_w - aggregate) / budget_w if budget_w > 0 else 0.0
+        self._integral = _clip(self._integral + self.ki * error * dt_s,
+                               -self.scale_span, self.scale_span)
+        scale = _clip(1.0 + self.kp * error + self._integral,
+                      1.0 - self.scale_span, 1.0 + self.scale_span)
+        return {name: share * scale for name, share in shares.items()}
+
+
+def redistribution_w(caps, telemetry):
+    """Watts of cap moved away from the weight-proportional division.
+
+    Uniform scaling (the PI baseline) scores ~0 by construction; demand
+    following (water-filling) scores the slack it actually re-aimed.
+    """
+    total_cap = sum(caps.values())
+    total_weight = sum(t.weight for t in telemetry)
+    moved = 0.0
+    for t in telemetry:
+        proportional = total_cap * t.weight / total_weight
+        moved += max(0.0, caps[t.name] - proportional)
+    return moved
+
+
+def _clip(value, lo, hi):
+    return lo if value < lo else hi if value > hi else value

@@ -1,0 +1,235 @@
+"""Power-aware placement: predicted draw against node headroom.
+
+WattsApp's scheduling rule, transplanted: an arriving instance is placed
+on a node whose *predicted* power profile leaves headroom for the
+instance's predicted draw over its whole lifetime — not on whichever node
+currently looks calm.  Among the nodes that fit, the one with the most
+lifetime headroom wins (worst-fit keeps the cluster balanced, which is
+what the global cap loop wants from its nodes).
+
+Two fallbacks, in order, when nothing fits:
+
+* **spill** — headroom is exhausted everywhere: the instance lands on the
+  least-loaded capable node anyway (admission control is the global cap
+  loop's job, not the placer's) and the spill is recorded, because the
+  spill rate is the honest measure of provisioning quality;
+* **delay** — psbox semantics make accelerators and NICs *exclusive* (one
+  sandbox per component at a time, ``repro.core.manager``), so a GPU or
+  WiFi instance that overlaps every capable node's existing window is
+  queued: its start shifts to the earliest free slot, like an accelerator
+  job queue.  Instances whose slot would fall off the horizon are dropped
+  and reported.
+"""
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.cluster.predictor import NODE_IDLE_WATTS
+
+#: components the kernel serves one sandbox at a time
+EXCLUSIVE_COMPONENTS = ("gpu", "wifi", "dsp", "lte")
+
+#: padding between exclusive windows on one node: psboxes leave a beat
+#: after their workload ends (topology.LEAVE_MARGIN_S) and event ties at
+#: a shared boundary must never race an enter against a leave
+EXCLUSIVE_GAP_S = 0.2
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One placement decision (pure record)."""
+
+    workload: object        # the WorkloadSpec as placed (possibly shifted)
+    node: str               # target node name; None when dropped
+    predicted_w: float      # the predictor's estimate at placement time
+    spilled: bool = False   # True when no node had power headroom
+    delayed_s: float = 0.0  # start shift from exclusive-window queueing
+
+    @property
+    def dropped(self):
+        return self.node is None
+
+
+class PlacementEngine:
+    """Assign workload specs to topology nodes by predicted power."""
+
+    def __init__(self, topology, predictor, horizon_s,
+                 idle_w=NODE_IDLE_WATTS, min_slice_s=0.3):
+        self.topology = topology
+        self.predictor = predictor
+        self.horizon_s = horizon_s
+        self.idle_w = idle_w
+        self.min_slice_s = min_slice_s
+        self._segments = {node.name: [] for node in topology}
+
+    # -- the predicted load model -------------------------------------------------
+
+    def predicted_peak_w(self, node_name, t0_s, t1_s, extra_w=0.0):
+        """Predicted peak draw of ``node_name`` over [t0_s, t1_s).
+
+        The idle floor plus the worst simultaneous overlap of every
+        instance already placed there (evaluated at segment starts — the
+        peak of a sum of step functions lands on someone's arrival).
+        """
+        segments = [
+            seg for seg in self._segments[node_name]
+            if seg.start_s < t1_s and seg.end_s > t0_s
+        ]
+        points = {t0_s}
+        points.update(seg.start_s for seg in segments
+                      if t0_s <= seg.start_s < t1_s)
+        peak = 0.0
+        for point in points:
+            level = sum(seg.watts for seg in segments
+                        if seg.start_s <= point < seg.end_s)
+            peak = max(peak, level + extra_w)
+        return self.idle_w + peak
+
+    def headroom_w(self, node_spec, t0_s, t1_s, extra_w=0.0):
+        return node_spec.capacity_w - self.predicted_peak_w(
+            node_spec.name, t0_s, t1_s, extra_w=extra_w)
+
+    # -- exclusive-window bookkeeping ----------------------------------------------
+
+    def _window_free(self, node_name, component, t0_s, t1_s):
+        if component not in EXCLUSIVE_COMPONENTS:
+            return True
+        lo, hi = t0_s - EXCLUSIVE_GAP_S, t1_s + EXCLUSIVE_GAP_S
+        return not any(
+            seg.component == component
+            and seg.start_s < hi and seg.end_s > lo
+            for seg in self._segments[node_name]
+        )
+
+    def _earliest_slot(self, node_name, component, start_s, duration_s):
+        """First ``t >= start_s`` with a free exclusive window on the node."""
+        t = start_s
+        while True:
+            conflicts = [
+                seg for seg in self._segments[node_name]
+                if seg.component == component
+                and seg.start_s < t + duration_s + EXCLUSIVE_GAP_S
+                and seg.end_s > t - EXCLUSIVE_GAP_S
+            ]
+            if not conflicts:
+                return t
+            t = max(seg.end_s for seg in conflicts) + EXCLUSIVE_GAP_S
+
+    # -- placement ----------------------------------------------------------------
+
+    def place(self, spec):
+        """Place one instance; returns its :class:`Placement`."""
+        predicted = self.predictor.predict(spec)
+        capable = [node for node in self.topology
+                   if spec.component in node.components]
+        if not capable:
+            raise ValueError("no node offers component {!r}"
+                             .format(spec.component))
+        free = [node for node in capable
+                if self._window_free(node.name, spec.component,
+                                     spec.start_s, spec.end_s)]
+        fits = [
+            (self.headroom_w(node, spec.start_s, spec.end_s,
+                             extra_w=predicted), node)
+            for node in free
+        ]
+        fits = [(headroom, node) for headroom, node in fits if headroom >= 0]
+        if fits:
+            # Tenant affinity first: keep a tenant's instances together
+            # (rack locality — and with regional tenants peaking at
+            # different hours, it is what gives the global allocator
+            # quiet nodes to raid).  Worst-fit within the preferred set:
+            # keep the most headroom after placing (ties break on
+            # topology order — max() keeps the first of equals).
+            home = [(headroom, node) for headroom, node in fits
+                    if self._hosts_tenant(node.name, spec.tenant)]
+            best = max(home or fits, key=lambda pair: pair[0])[1]
+            return self._commit(spec, best, predicted, spilled=False)
+        if free:
+            # Power spill: exclusivity holds somewhere, headroom nowhere.
+            best = min(free, key=lambda node: self.predicted_peak_w(
+                node.name, spec.start_s, spec.end_s))
+            return self._commit(spec, best, predicted, spilled=True)
+        # Exclusive queueing: shift to the earliest slot anywhere.
+        duration = spec.end_s - spec.start_s
+        slots = [
+            (self._earliest_slot(node.name, spec.component, spec.start_s,
+                                 duration), index, node)
+            for index, node in enumerate(capable)
+        ]
+        slot_t, _index, best = min(slots, key=lambda s: (s[0], s[1]))
+        end = min(slot_t + duration, self.horizon_s)
+        if end - slot_t < self.min_slice_s:
+            return Placement(workload=spec, node=None, predicted_w=predicted,
+                             spilled=True, delayed_s=slot_t - spec.start_s)
+        shifted = dataclasses.replace(spec, start_s=round(slot_t, 6),
+                                      end_s=round(end, 6))
+        return self._commit(shifted, best, predicted, spilled=True,
+                            delayed_s=slot_t - spec.start_s)
+
+    def _hosts_tenant(self, node_name, tenant):
+        return any(seg.tenant == tenant for seg in self._segments[node_name])
+
+    def _commit(self, spec, node, predicted_w, spilled, delayed_s=0.0):
+        self._segments[node.name].append(_Segment(
+            start_s=spec.start_s, end_s=spec.end_s, watts=predicted_w,
+            component=spec.component, name=spec.name, tenant=spec.tenant))
+        return Placement(workload=spec, node=node.name,
+                         predicted_w=predicted_w, spilled=spilled,
+                         delayed_s=round(delayed_s, 6))
+
+    def place_all(self, specs):
+        """Place specs in arrival order (start time, then name)."""
+        ordered = sorted(specs, key=lambda s: (s.start_s, s.name))
+        return [self.place(spec) for spec in ordered]
+
+
+@dataclass(frozen=True)
+class _Segment:
+    start_s: float
+    end_s: float
+    watts: float
+    component: str
+    name: str
+    tenant: str = ""
+
+
+def placements_by_node(placements):
+    """``{node name: [WorkloadSpec, ...]}`` in arrival order (no drops)."""
+    grouped = {}
+    for placement in placements:
+        if placement.dropped:
+            continue
+        grouped.setdefault(placement.node, []).append(placement.workload)
+    return grouped
+
+
+def placement_quality(placements, topology, horizon_s, engine):
+    """JSON-able quality summary of one placement pass."""
+    if not placements:
+        return {"instances": 0, "placed": 0, "spills": 0, "spill_rate": 0.0,
+                "delayed": 0, "mean_delay_s": 0.0, "dropped": 0,
+                "predicted_peaks_w": {}, "balance_cv": 0.0}
+    peaks = {
+        node.name: round(
+            engine.predicted_peak_w(node.name, 0.0, horizon_s), 6)
+        for node in topology
+    }
+    values = list(peaks.values())
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    placed = [p for p in placements if not p.dropped]
+    spills = sum(1 for p in placed if p.spilled)
+    delays = [p.delayed_s for p in placed if p.delayed_s > 0]
+    return {
+        "instances": len(placements),
+        "placed": len(placed),
+        "spills": spills,
+        "spill_rate": round(spills / len(placements), 6),
+        "delayed": len(delays),
+        "mean_delay_s": round(sum(delays) / len(delays), 6) if delays
+        else 0.0,
+        "dropped": len(placements) - len(placed),
+        "predicted_peaks_w": peaks,
+        "balance_cv": round((variance ** 0.5) / mean if mean else 0.0, 6),
+    }

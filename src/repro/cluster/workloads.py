@@ -1,0 +1,302 @@
+"""Datacenter workload generation: specs, service apps, traffic shapes.
+
+A cluster run is driven by a list of :class:`WorkloadSpec` — one service
+*instance* each, sized in users served.  Users are the scaling currency:
+``USERS_PER_INSTANCE`` converts a traffic curve measured in (millions of)
+users into a count of concurrently running instances, and each instance's
+simulated intensity scales with its own load fraction.  Three generators
+compose the standard shapes:
+
+* :func:`generate_diurnal` — a sinusoidal day: instances arrive as the
+  curve climbs and expire as it falls (natural churn);
+* :func:`generate_flash_crowd` — a surge of short-lived instances landing
+  within a fraction of a second (the placement stress test);
+* tenant churn — tenants carry ``(join, leave)`` windows, so a tenant's
+  whole population can appear or vanish mid-run.
+
+Specs are plain JSON-able data (``to_dict`` / ``from_dict``): the
+calibration cells ship them across the ``repro.par`` process boundary.
+"""
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.apps.base import App
+from repro.kernel.actions import (
+    Compute,
+    SendPacket,
+    Sleep,
+    SubmitAccel,
+    WaitOutstanding,
+)
+from repro.sim.clock import SEC, from_usec
+
+#: users one service instance absorbs before the generator adds another
+USERS_PER_INSTANCE = 50_000
+
+#: workload kind -> the hardware component its instances exercise
+KIND_COMPONENT = {"web": "cpu", "render": "gpu", "bulk": "wifi"}
+
+#: generator mix: fraction of instances of each kind
+KIND_MIX = (("web", 0.55), ("render", 0.25), ("bulk", 0.20))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One service instance: tenant, kind, lifetime, and users served."""
+
+    name: str
+    tenant: str
+    kind: str
+    start_s: float
+    end_s: float
+    users: int
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in KIND_COMPONENT:
+            raise ValueError("unknown workload kind {!r}".format(self.kind))
+        if self.end_s <= self.start_s:
+            raise ValueError("workload {!r} ends before it starts"
+                             .format(self.name))
+        if self.users < 1:
+            raise ValueError("workload {!r} serves no users".format(self.name))
+
+    @property
+    def component(self):
+        return KIND_COMPONENT[self.kind]
+
+    @property
+    def load(self):
+        """Load fraction of one full instance, in (0, 1]."""
+        return min(1.0, self.users / USERS_PER_INSTANCE)
+
+    def overlaps(self, t0_s, t1_s):
+        return self.start_s < t1_s and self.end_s > t0_s
+
+    def to_dict(self):
+        return {
+            "name": self.name, "tenant": self.tenant, "kind": self.kind,
+            "start_s": self.start_s, "end_s": self.end_s,
+            "users": self.users, "weight": self.weight,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+# -- service apps ------------------------------------------------------------------
+
+def service_app(kernel, spec):
+    """Instantiate ``spec`` as a running app on ``kernel``.
+
+    The app exists from boot (the node's powercap bindings want its psbox
+    up front) but sleeps until ``start_s`` and retires its loop at
+    ``end_s`` — arrival and departure without rebinding the controller.
+    """
+    app = App(kernel, spec.name, weight=spec.weight)
+    rng = kernel.sim.rng.stream("cluster.{}.{}".format(spec.name, app.id))
+    start_ns = int(spec.start_s * SEC)
+    end_ns = int(spec.end_s * SEC)
+    load = spec.load
+    builder = _BEHAVIORS[spec.kind]
+    app.spawn(builder(kernel, app, rng, start_ns, end_ns, load),
+              name=spec.name + ".svc")
+    return app
+
+
+def _web_behavior(kernel, app, rng, start_ns, end_ns, load):
+    """CPU request batches: burst size scales with the instance's load."""
+    def behavior():
+        if start_ns > kernel.now:
+            yield Sleep(start_ns - kernel.now)
+        while kernel.now < end_ns:
+            cycles = max(float(rng.normal(2.4e6 * load, 0.3e6 * load)),
+                         0.2e6)
+            yield Compute(cycles)
+            app.count("requests", max(1, int(120 * load)))
+            yield Sleep(from_usec(int(rng.uniform(250, 450))))
+
+    return behavior()
+
+
+def _render_behavior(kernel, app, rng, start_ns, end_ns, load):
+    """GPU frame stream, double buffered; frame rate scales with load."""
+    def behavior():
+        if start_ns > kernel.now:
+            yield Sleep(start_ns - kernel.now)
+        while kernel.now < end_ns:
+            cycles = max(float(rng.normal(3.2e6 * load, 0.2e6 * load)),
+                         0.3e6)
+            yield SubmitAccel("gpu", "svc_frame", cycles, 0.85, wait=False)
+            yield WaitOutstanding(2)
+            app.count("frames", 1)
+            yield Sleep(from_usec(int(rng.uniform(400, 800))))
+
+    return behavior()
+
+
+def _bulk_behavior(kernel, app, rng, start_ns, end_ns, load):
+    """WiFi bulk stream: chunk cadence scales with load."""
+    def behavior():
+        if start_ns > kernel.now:
+            yield Sleep(start_ns - kernel.now)
+        while kernel.now < end_ns:
+            size = int(rng.uniform(18_000, 30_000) * max(load, 0.2))
+            yield SendPacket(max(size, 2_000), wait=True)
+            app.count("kb", size / 1024.0)
+            yield Sleep(from_usec(int(rng.uniform(300, 700) / max(load, 0.1))))
+
+    return behavior()
+
+
+_BEHAVIORS = {
+    "web": _web_behavior,
+    "render": _render_behavior,
+    "bulk": _bulk_behavior,
+}
+
+
+# -- traffic shapes ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant: a share of the user base and a membership window.
+
+    ``phase`` shifts the tenant's diurnal curve (fraction of a day): a
+    global service's regional tenants peak hours apart, which is exactly
+    the imbalance a cluster-level allocator exists to exploit — somebody's
+    night pays for somebody else's noon.
+    """
+
+    name: str
+    share: float = 1.0
+    join_s: float = 0.0
+    leave_s: float = math.inf
+    weight: float = 1.0
+    phase: float = 0.0
+
+
+def diurnal_users(t_s, day_s, peak_users, base_fraction=0.30, phase=0.0):
+    """The traffic curve: users online at ``t_s`` of a ``day_s``-long day.
+
+    A raised sine squared — quiet night floor at ``base_fraction`` of the
+    peak, maximum at mid-day (``t = day_s / 2`` for ``phase`` 0, earlier
+    for positive phases).
+    """
+    x = (t_s / day_s + phase) % 1.0
+    shape = math.sin(math.pi * x) ** 2
+    return int(peak_users * (base_fraction + (1.0 - base_fraction) * shape))
+
+
+def generate_diurnal(seed, horizon_s, peak_users, tenants, slot_s=0.5,
+                     base_fraction=0.30):
+    """Instance arrivals/expiries tracking the diurnal curve per tenant.
+
+    Every ``slot_s`` the generator compares each tenant's target instance
+    count (its share of the curve) against the instances still alive and
+    tops the population up; each new instance lives a random 2–5 slots.
+    The curve's downslope drains the population by expiry — churn for
+    free.  Tenants outside their ``(join_s, leave_s)`` window target zero.
+    """
+    rng = random.Random(seed)
+    specs = []
+    alive = []           # (end_s, tenant name) heap-free bookkeeping
+    serial = 0
+    total_share = sum(t.share for t in tenants) or 1.0
+    slots = int(math.ceil(horizon_s / slot_s))
+    for slot in range(slots):
+        t = slot * slot_s
+        alive = [(end, tenant) for end, tenant in alive if end > t]
+        for tenant in tenants:
+            if not (tenant.join_s <= t < tenant.leave_s):
+                continue
+            users_now = diurnal_users(t, horizon_s, peak_users,
+                                      base_fraction, phase=tenant.phase)
+            tenant_users = users_now * tenant.share / total_share
+            target = int(round(tenant_users / USERS_PER_INSTANCE))
+            have = sum(1 for _end, name in alive if name == tenant.name)
+            for _ in range(max(0, target - have)):
+                end = min(t + rng.randint(2, 5) * slot_s, horizon_s,
+                          tenant.leave_s)
+                if end <= t:
+                    continue
+                kind = _pick_kind(rng)
+                specs.append(WorkloadSpec(
+                    name="{}.{}.{:03d}".format(tenant.name, kind, serial),
+                    tenant=tenant.name, kind=kind,
+                    start_s=round(t, 6), end_s=round(end, 6),
+                    users=USERS_PER_INSTANCE, weight=tenant.weight,
+                ))
+                alive.append((end, tenant.name))
+                serial += 1
+    return specs
+
+
+def generate_flash_crowd(seed, at_s, duration_s, surge_users, tenant,
+                         spread_s=0.25):
+    """A flash crowd: ``surge_users`` worth of instances in ``spread_s``."""
+    rng = random.Random(seed)
+    n = max(1, int(round(surge_users / USERS_PER_INSTANCE)))
+    specs = []
+    for i in range(n):
+        start = at_s + rng.uniform(0.0, spread_s)
+        kind = _pick_kind(rng)
+        specs.append(WorkloadSpec(
+            name="{}.flash.{}.{:03d}".format(tenant.name, kind, i),
+            tenant=tenant.name, kind=kind,
+            start_s=round(start, 6), end_s=round(start + duration_s, 6),
+            users=USERS_PER_INSTANCE, weight=tenant.weight,
+        ))
+    return specs
+
+
+def _pick_kind(rng):
+    roll = rng.random()
+    acc = 0.0
+    for kind, fraction in KIND_MIX:
+        acc += fraction
+        if roll < acc:
+            return kind
+    return KIND_MIX[-1][0]
+
+
+def standard_mix(seed, horizon_s, peak_users=2_400_000, n_tenants=4,
+                 flash_fraction=0.25):
+    """The cluster experiment's canonical traffic: diurnal + flash + churn.
+
+    ``n_tenants`` long-lived *regional* tenants share the diurnal curve
+    with staggered phases (their peaks land hours apart — the imbalance
+    slack redistribution feeds on); one of them leaves at 60% of the
+    horizon while a late tenant joins at 45% (tenant churn), and the late
+    tenant's launch is a flash crowd worth ``flash_fraction`` of the peak
+    landing at 40%.  Returns the specs sorted by arrival and the tenants.
+    """
+    tenants = [
+        Tenant("t{}".format(i), share=1.0,
+               phase=0.5 * i / max(n_tenants - 1, 1),
+               leave_s=0.60 * horizon_s if i == n_tenants - 1 else math.inf)
+        for i in range(n_tenants)
+    ]
+    late = Tenant("late", share=0.8, join_s=0.45 * horizon_s)
+    tenants.append(late)
+    specs = generate_diurnal(seed, horizon_s, peak_users, tenants)
+    specs += generate_flash_crowd(
+        seed + 1, at_s=0.40 * horizon_s, duration_s=0.18 * horizon_s,
+        surge_users=flash_fraction * peak_users, tenant=late,
+    )
+    specs.sort(key=lambda s: (s.start_s, s.name))
+    return specs, tenants
+
+
+def peak_concurrent_users(specs, horizon_s, step_s=0.25):
+    """Max users served at once — the 'millions of users' headline stat."""
+    peak = 0
+    steps = int(horizon_s / step_s) + 1
+    for i in range(steps):
+        t = i * step_s
+        now = sum(s.users for s in specs if s.start_s <= t < s.end_s)
+        peak = max(peak, now)
+    return peak

@@ -25,6 +25,7 @@ import sys
 
 from repro.analysis.report import format_series, format_table
 from repro.obs import runtime as obs_runtime
+from repro.par import effective_jobs
 
 
 def run_fig3():
@@ -167,6 +168,56 @@ def run_powercap():
     ))
 
 
+def run_cluster(args=None):
+    from repro.experiments.cluster_exp import (
+        DEFAULT_BENCH_PATH,
+        DEFAULT_NODES,
+        run_cluster as _run,
+        write_bench,
+    )
+
+    jobs = getattr(args, "jobs", 1) if args is not None else 1
+    cache = _result_cache(args)
+    nodes = getattr(args, "nodes", None) if args is not None else None
+    bench = getattr(args, "bench", None) if args is not None else None
+    result, runner = _run(
+        nodes=nodes if nodes else DEFAULT_NODES,
+        jobs=jobs, cache=cache,
+        obs_metrics=obs_runtime.is_active() and jobs > 1,
+    )
+    print(format_table(
+        ["quantity", "value"],
+        [["nodes", str(result.nodes)],
+         ["instances placed", "{}/{}".format(result.placement["placed"],
+                                             result.instances)],
+         ["peak concurrent users", "{:,}".format(result.peak_users)],
+         ["uncapped cluster peak", "{:.2f} W".format(result.uncapped_peak_w)],
+         ["datacenter budget (70%)", "{:.2f} W".format(result.budget_w)],
+         ["spill rate", "{:.1%}".format(result.placement["spill_rate"])],
+         ["placement balance CV", "{:.3f}".format(
+             result.placement["balance_cv"])]],
+        title="Cluster — {} nodes under one budget".format(result.nodes),
+    ))
+    rows = []
+    for name in sorted(result.runs):
+        m = result.runs[name]
+        rows.append([name,
+                     "{:+.2f}%".format(m["compliance_pct"]),
+                     "{:.2f}%".format(m["mean_abs_error_pct"]),
+                     "{:+.2f}%".format(m["max_overshoot_pct"]),
+                     "{:.3f} W".format(m["redistributed_slack_w"]),
+                     str(m["throttle_actions"])])
+    print(format_table(
+        ["allocator", "compliance", "abs err", "max over", "slack moved",
+         "actions"],
+        rows,
+        title="Global allocators, head to head",
+    ))
+    path = write_bench(result, bench or DEFAULT_BENCH_PATH)
+    print("bench -> {}".format(path))
+    _print_par_stats(runner, jobs, cache)
+
+
 def _result_cache(args):
     if args is None or not getattr(args, "cache", None):
         return None
@@ -260,6 +311,7 @@ EXPERIMENTS = {
     "fig3": run_fig3,
     "faults": run_faults,
     "powercap": run_powercap,
+    "cluster": run_cluster,
     "fig6": run_fig6,
     "fig7": run_fig7,
     "fig8": run_fig8,
@@ -271,7 +323,7 @@ EXPERIMENTS = {
 }
 
 #: subcommands whose driver consumes the parallel/soak CLI flags
-NEEDS_ARGS = {"faults", "sweep"}
+NEEDS_ARGS = {"faults", "sweep", "cluster"}
 
 
 def main(argv=None):
@@ -308,7 +360,16 @@ def main(argv=None):
                         help="seed-sequence entropy for --seeds")
     parser.add_argument("--only", metavar="CELLS",
                         help="sweep: comma-separated cell names")
+    parser.add_argument("--nodes", type=int, default=None, metavar="N",
+                        help="cluster: topology size (default 8)")
+    parser.add_argument("--bench", metavar="PATH",
+                        help="cluster: benchmark JSON path "
+                             "(default BENCH_cluster.json)")
     args = parser.parse_args(argv)
+    try:
+        args.jobs = effective_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     if args.list or not args.names:
         print("available experiments:", ", ".join(sorted(EXPERIMENTS)))

@@ -36,7 +36,7 @@ from repro.experiments.powercap_exp import (
     build_budget_tree,
 )
 from repro.faults import DETECTED, SCENARIOS, TOLERATED, TaskCrashInjector, scenario
-from repro.par import ParallelRunner, ResultCache, work_list
+from repro.par import ParallelRunner, ResultCache, effective_jobs, work_list
 from repro.kernel.actions import Compute, SendPacket, Sleep, SubmitAccel
 from repro.powercap import PowerCapController
 from repro.sim.clock import SEC, from_msec, from_usec
@@ -330,6 +330,10 @@ def main(argv=None):
                              "cells are skipped on re-runs (invalidated by "
                              "any repro source change)")
     args = parser.parse_args(argv)
+    try:
+        args.jobs = effective_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     seeds = (soak_seeds(args.seeds, args.entropy)
              if args.seeds is not None else [args.seed])

@@ -15,7 +15,7 @@ Cells are addressed by name: the plain experiment subcommands (``fig3`` ..
 import contextlib
 import io
 
-from repro.par import ParallelRunner, ResultCache, work_list
+from repro.par import ParallelRunner, ResultCache, effective_jobs, work_list
 
 #: the dotted entry point spawn-started workers import
 CELL_RUNNER = "repro.experiments.sweep:run_sweep_cell"
@@ -92,6 +92,10 @@ def main(argv=None):
     parser.add_argument("--only", metavar="CELLS", default=None,
                         help="comma-separated cell names (default: all)")
     args = parser.parse_args(argv)
+    try:
+        args.jobs = effective_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     names = args.only.split(",") if args.only else None
     cache = ResultCache(args.cache) if args.cache else None

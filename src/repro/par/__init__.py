@@ -20,7 +20,7 @@ Typical use::
 
 from repro.par.cache import MISS, ResultCache, code_fingerprint, config_hash
 from repro.par.metrics import merge_snapshots
-from repro.par.runner import ParallelRunner, RunStats
+from repro.par.runner import ParallelRunner, RunStats, effective_jobs
 from repro.par.shard import WorkItem, merge_results, plan_shards, work_list
 from repro.par.worker import CellError, resolve_runner, run_cell, run_shard
 
@@ -33,6 +33,7 @@ __all__ = [
     "WorkItem",
     "code_fingerprint",
     "config_hash",
+    "effective_jobs",
     "merge_results",
     "merge_snapshots",
     "plan_shards",

@@ -24,6 +24,30 @@ from repro.par.shard import merge_results, plan_shards
 from repro.par.worker import run_shard, worker_init
 
 
+def effective_jobs(requested, cpu_count=None, stream=None):
+    """Clamp a ``--jobs`` request to the host's core count.
+
+    BENCH_par.json shows oversubscribing a small host is a pure loss
+    (``--jobs 4`` is *slower* than ``--jobs 2`` on one core): every spawned
+    worker pays an interpreter boot and then time-slices the same cores.
+    The CLIs route their ``--jobs`` through here so the request is capped
+    at ``os.cpu_count()`` with a one-line stderr warning instead of
+    silently oversubscribing.  Returns the capped job count.
+    """
+    if requested < 1:
+        raise ValueError("jobs must be >= 1, got {}".format(requested))
+    cores = cpu_count if cpu_count is not None else os.cpu_count()
+    if not cores:          # cpu_count() may return None on exotic hosts
+        return requested
+    if requested <= cores:
+        return requested
+    print("warning: --jobs {} exceeds the {} available CPU core{}; "
+          "capping at {} (oversubscribed workers only add spawn cost)"
+          .format(requested, cores, "" if cores == 1 else "s", cores),
+          file=stream if stream is not None else sys.stderr)
+    return cores
+
+
 @dataclass
 class RunStats:
     """What one ``run()`` did; ``summary()`` is the one-line stderr form."""

@@ -1,0 +1,146 @@
+"""Global allocators: conservation, demand following, the PI baseline.
+
+The datacenter-level mirror of ``tests/powercap/test_budget.py``: the same
+edge cases (zero budget, all saturated, single child) exercised through
+the :class:`GlobalAllocator` implementations, plus a hypothesis property
+that allocation conserves the budget at cluster scope exactly as the
+budget tree conserves it at node scope.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    NodeTelemetry,
+    PIBaselineAllocator,
+    WaterFillingAllocator,
+    redistribution_w,
+)
+
+
+def tele(name, measured, demand, weight=1.0, cap=1.0):
+    return NodeTelemetry(name=name, measured_w=measured, demand_w=demand,
+                         cap_w=cap, weight=weight)
+
+
+def balanced(demands, weights=None, budget=10.0):
+    """Telemetry whose measured sum equals the budget: zero loop error, so
+    the allocator's P/I terms vanish and conservation is exact."""
+    weights = weights or [1.0] * len(demands)
+    total = sum(weights)
+    return [
+        tele("n{}".format(i), budget * w / total, d, weight=w)
+        for i, (d, w) in enumerate(zip(demands, weights))
+    ]
+
+
+# -- water-filling ------------------------------------------------------------------
+
+
+def test_empty_telemetry_yields_no_caps():
+    assert WaterFillingAllocator().allocate([], 10.0, 0.25) == {}
+    assert PIBaselineAllocator().allocate([], 10.0, 0.25) == {}
+
+
+def test_quiet_node_slack_flows_to_the_busy_one():
+    caps = WaterFillingAllocator().allocate(
+        balanced([0.2, 8.0], budget=6.0), 6.0, 0.25)
+    assert caps["n1"] > caps["n0"]
+    assert sum(caps.values()) == pytest.approx(6.0)
+    # The busy node got more than its proportional half.
+    assert caps["n1"] > 3.0
+
+
+def test_all_nodes_saturated_splits_by_weight():
+    wf = WaterFillingAllocator(floor_w=0.5)
+    caps = wf.allocate(
+        balanced([50.0, 50.0, 50.0], weights=[1.0, 1.0, 2.0], budget=8.0),
+        8.0, 0.25)
+    assert sum(caps.values()) == pytest.approx(8.0)
+    # Above the uniform floor the division is weight-proportional.
+    assert caps["n2"] - 0.5 == pytest.approx(2 * (caps["n0"] - 0.5))
+    assert caps["n0"] == pytest.approx(caps["n1"])
+
+
+def test_single_node_gets_the_whole_budget():
+    caps = WaterFillingAllocator().allocate(
+        balanced([3.0], budget=5.0), 5.0, 0.25)
+    assert caps == {"n0": pytest.approx(5.0)}
+
+
+def test_zero_demand_cluster_still_grants_the_budget():
+    # Grants are permissions: idle telemetry must not zero the caps.
+    caps = WaterFillingAllocator().allocate(
+        balanced([0.0, 0.0], budget=4.0), 4.0, 0.25)
+    assert sum(caps.values()) == pytest.approx(4.0)
+    assert caps["n0"] == pytest.approx(caps["n1"])
+
+
+def test_floor_keeps_an_idle_node_alive():
+    wf = WaterFillingAllocator(floor_w=0.5)
+    caps = wf.allocate(balanced([0.0, 20.0], budget=6.0), 6.0, 0.25)
+    assert caps["n0"] >= 0.5 - 1e-9
+
+
+def test_overdraw_trims_the_next_division():
+    wf = WaterFillingAllocator()
+    hot = [tele("n0", 6.0, 8.0), tele("n1", 6.0, 8.0)]   # 12 W on a 10 W cap
+    caps = wf.allocate(hot, 10.0, 0.25)
+    assert sum(caps.values()) < 10.0                     # P + I pull down
+    assert wf._trim_w < 0.0
+    wf.reset()
+    assert wf._trim_w == 0.0
+
+
+def test_floor_validation():
+    with pytest.raises(ValueError, match="floor"):
+        WaterFillingAllocator(floor_w=-1.0)
+
+
+@given(
+    st.lists(st.tuples(st.floats(min_value=0.0, max_value=20.0),
+                       st.floats(min_value=0.1, max_value=4.0)),
+             min_size=1, max_size=8),
+    st.floats(min_value=0.5, max_value=40.0),
+)
+def test_waterfill_allocation_conserves_the_budget(nodes, budget):
+    demands = [d for d, _w in nodes]
+    weights = [w for _d, w in nodes]
+    caps = WaterFillingAllocator().allocate(
+        balanced(demands, weights=weights, budget=budget), budget, 0.25)
+    # Conservation at cluster scope: node caps sum to the datacenter
+    # budget (nothing lost, nothing invented) and never go negative.
+    assert sum(caps.values()) == pytest.approx(budget)
+    assert all(c >= -1e-9 for c in caps.values())
+
+
+# -- the PI baseline ----------------------------------------------------------------
+
+
+def test_pi_moves_every_node_in_lockstep():
+    pi = PIBaselineAllocator()
+    caps = pi.allocate(balanced([0.2, 8.0], budget=6.0), 6.0, 0.25)
+    # Zero error: static shares, untouched — no demand following.
+    assert caps["n0"] == pytest.approx(caps["n1"]) == pytest.approx(3.0)
+
+
+def test_pi_scale_is_clipped():
+    pi = PIBaselineAllocator(scale_span=0.5)
+    cold = [tele("n0", 0.0, 0.0)]                 # huge positive error
+    for _ in range(50):
+        caps = pi.allocate(cold, 10.0, 0.25)
+    assert caps["n0"] <= 15.0 + 1e-9              # 1 + span, no wind-up
+    pi.reset()
+    assert pi._integral == 0.0
+
+
+# -- the redistribution metric ------------------------------------------------------
+
+
+def test_redistribution_scores_demand_following_not_scaling():
+    telemetry = balanced([0.2, 8.0], budget=6.0)
+    wf_caps = WaterFillingAllocator().allocate(telemetry, 6.0, 0.25)
+    pi_caps = PIBaselineAllocator().allocate(telemetry, 6.0, 0.25)
+    assert redistribution_w(wf_caps, telemetry) > 0.1
+    assert redistribution_w(pi_caps, telemetry) == pytest.approx(0.0)

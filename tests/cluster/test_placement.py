@@ -1,0 +1,126 @@
+"""Placement engine: worst-fit, affinity, spill, exclusive queueing."""
+
+import pytest
+
+from repro.cluster import (
+    USERS_PER_INSTANCE,
+    ClusterTopology,
+    PlacementEngine,
+    WorkloadSpec,
+    placement_quality,
+    placements_by_node,
+)
+from repro.cluster.topology import NodeSpec
+
+HORIZON = 4.0
+
+
+class FixedPredictor:
+    """Predict a constant — placement decisions become arithmetic."""
+
+    def __init__(self, watts=1.0):
+        self.watts = watts
+
+    def predict(self, spec):
+        return self.watts
+
+
+def spec(name, kind="web", tenant="t0", start_s=0.0, end_s=2.0):
+    return WorkloadSpec(name=name, tenant=tenant, kind=kind, start_s=start_s,
+                        end_s=end_s, users=USERS_PER_INSTANCE)
+
+
+def engine(n=2, capacity_w=4.0, watts=1.0, **kw):
+    topo = ClusterTopology.uniform(n, capacity_w=capacity_w)
+    return PlacementEngine(topo, FixedPredictor(watts), horizon_s=HORIZON,
+                           **kw), topo
+
+
+def test_worst_fit_spreads_different_tenants():
+    eng, _topo = engine()
+    first = eng.place(spec("a", tenant="t0"))
+    second = eng.place(spec("b", tenant="t1"))
+    assert first.node == "node00"          # tie breaks on topology order
+    assert second.node == "node01"         # worst fit: most headroom left
+    assert not first.spilled and not second.spilled
+
+
+def test_tenant_affinity_beats_worst_fit():
+    eng, _topo = engine()
+    first = eng.place(spec("a", tenant="t0"))
+    second = eng.place(spec("b", tenant="t0"))
+    assert first.node == second.node == "node00"
+
+
+def test_power_spill_picks_least_loaded_node():
+    # Capacity fits one 1 W instance (idle 0.45 + 1.0), never two.
+    eng, _topo = engine(capacity_w=2.0)
+    eng.place(spec("a", tenant="t0"))
+    eng.place(spec("b", tenant="t1"))
+    third = eng.place(spec("c", tenant="t0"))
+    assert third.spilled and not third.dropped
+    assert third.delayed_s == 0.0          # spill, not queueing
+    assert third.node in ("node00", "node01")
+
+
+def test_exclusive_component_queues_behind_the_window():
+    eng, _topo = engine(n=1)
+    first = eng.place(spec("a", kind="render", end_s=1.0))
+    second = eng.place(spec("b", kind="render", start_s=0.5, end_s=1.5))
+    assert first.delayed_s == 0.0
+    assert second.spilled and second.delayed_s > 0
+    # Shifted past the first window plus the enter/leave gap.
+    assert second.workload.start_s == pytest.approx(1.2)
+    assert second.workload.end_s - second.workload.start_s == pytest.approx(
+        1.0)
+
+
+def test_exclusive_overflow_past_horizon_is_dropped():
+    eng, _topo = engine(n=1, min_slice_s=0.5)
+    eng.place(spec("a", kind="render", start_s=0.0, end_s=HORIZON))
+    dropped = eng.place(spec("b", kind="render", start_s=0.0, end_s=1.0))
+    assert dropped.dropped
+    assert dropped.node is None
+
+
+def test_unknown_component_is_an_error():
+    topo = ClusterTopology([NodeSpec("cpu-only", components=("cpu",))])
+    eng = PlacementEngine(topo, FixedPredictor(), horizon_s=HORIZON)
+    with pytest.raises(ValueError, match="no node offers"):
+        eng.place(spec("a", kind="render"))
+
+
+def test_predicted_peak_counts_only_overlap():
+    eng, _topo = engine()
+    eng.place(spec("a", tenant="t0", start_s=0.0, end_s=1.0))
+    eng.place(spec("b", tenant="t0", start_s=2.0, end_s=3.0))
+    # Sequential instances never stack: peak is idle + one instance.
+    assert eng.predicted_peak_w("node00", 0.0, HORIZON) == pytest.approx(
+        eng.idle_w + 1.0)
+
+
+def test_placements_by_node_groups_and_skips_drops():
+    eng, _topo = engine(n=1, min_slice_s=0.5)
+    placements = eng.place_all([
+        spec("a", kind="render", start_s=0.0, end_s=HORIZON),
+        spec("b", kind="render", start_s=0.0, end_s=1.0),
+        spec("c", start_s=0.0, end_s=1.0),
+    ])
+    grouped = placements_by_node(placements)
+    assert set(grouped) == {"node00"}
+    assert [w.name for w in grouped["node00"]] == ["a", "c"]
+
+
+def test_placement_quality_summary():
+    eng, topo = engine(n=1, min_slice_s=0.5)
+    placements = eng.place_all([
+        spec("a", kind="render", start_s=0.0, end_s=HORIZON),
+        spec("b", kind="render", start_s=0.0, end_s=1.0),
+        spec("c", start_s=0.0, end_s=1.0),
+    ])
+    quality = placement_quality(placements, topo, HORIZON, eng)
+    assert quality["instances"] == 3
+    assert quality["placed"] == 2
+    assert quality["dropped"] == 1
+    assert quality["balance_cv"] == 0.0     # one node
+    assert placement_quality([], topo, HORIZON, eng)["instances"] == 0

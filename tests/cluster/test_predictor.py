@@ -1,0 +1,57 @@
+"""PowerPredictor: static priors, online correction, guard rails."""
+
+import pytest
+
+from repro.cluster import USERS_PER_INSTANCE, PowerPredictor, WorkloadSpec
+from repro.cluster.predictor import KIND_WATTS
+
+
+def spec(kind="web", users=USERS_PER_INSTANCE):
+    return WorkloadSpec(name="w", tenant="t", kind=kind, start_s=0.0,
+                        end_s=1.0, users=users)
+
+
+def test_predict_scales_with_load():
+    p = PowerPredictor()
+    full = p.predict(spec())
+    assert full == pytest.approx(KIND_WATTS["web"])
+    assert p.predict(spec(users=USERS_PER_INSTANCE // 2)) == pytest.approx(
+        full / 2)
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="smoothing"):
+        PowerPredictor(smoothing=0.0)
+    with pytest.raises(ValueError, match="unknown workload kinds: mining"):
+        PowerPredictor(kind_watts={"mining": 9.0})
+    with pytest.raises(KeyError):
+        PowerPredictor().observe("mining", 1.0, 1.0)
+
+
+def test_observation_bends_future_predictions():
+    p = PowerPredictor(smoothing=0.5)
+    before = p.predict(spec())
+    p.observe("web", predicted_w=1.0, measured_w=2.0)
+    assert p.correction("web") == pytest.approx(1.5)   # EWMA toward 2.0
+    assert p.predict(spec()) == pytest.approx(1.5 * before)
+
+
+def test_wild_samples_are_clipped():
+    p = PowerPredictor(smoothing=1.0)
+    p.observe("web", predicted_w=1.0, measured_w=100.0)
+    assert p.correction("web") == 4.0
+    p.observe("web", predicted_w=1.0, measured_w=0.0001)
+    assert p.correction("web") == 0.25
+    # Zero prediction: no ratio to learn from, sample dropped.
+    p.observe("web", predicted_w=0.0, measured_w=5.0)
+    assert p.correction("web") == 0.25
+
+
+def test_stats_snapshot():
+    p = PowerPredictor()
+    assert p.mean_abs_error_w() == 0.0
+    p.observe("bulk", predicted_w=1.0, measured_w=1.5)
+    stats = p.stats()
+    assert stats["samples"]["bulk"] == 1
+    assert stats["mean_abs_error_w"] == pytest.approx(0.5)
+    assert set(stats["corrections"]) == set(KIND_WATTS)

@@ -1,0 +1,40 @@
+"""Topology data model (pure parts; the booted Node is in test_cluster)."""
+
+import pytest
+
+from repro.cluster import ClusterTopology, NodeSpec, node_seed
+
+
+def test_nodespec_validation():
+    with pytest.raises(ValueError, match="capacity"):
+        NodeSpec("x", capacity_w=0.0)
+    with pytest.raises(ValueError, match="weight"):
+        NodeSpec("x", weight=0.0)
+
+
+def test_nodespec_round_trips_through_dict():
+    spec = NodeSpec("n", weight=2.0, n_cpu_cores=4, capacity_w=5.0,
+                    components=("cpu", "gpu"))
+    assert NodeSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_uniform_topology():
+    topo = ClusterTopology.uniform(3, capacity_w=2.5)
+    assert len(topo) == 3
+    assert [n.name for n in topo] == ["node00", "node01", "node02"]
+    assert topo.total_capacity_w() == pytest.approx(7.5)
+    assert topo.node("node01").capacity_w == 2.5
+    with pytest.raises(KeyError):
+        topo.node("node99")
+    with pytest.raises(ValueError, match="at least one"):
+        ClusterTopology.uniform(0)
+
+
+def test_topology_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="duplicate"):
+        ClusterTopology([NodeSpec("a"), NodeSpec("a")])
+
+
+def test_node_seed_is_distinct_per_node_and_campaign():
+    seeds = {node_seed(base, i) for base in (0, 1, 2) for i in range(8)}
+    assert len(seeds) == 24

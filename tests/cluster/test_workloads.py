@@ -1,0 +1,129 @@
+"""Workload generation: specs, the diurnal curve, churn, determinism."""
+
+import math
+
+import pytest
+
+from repro.cluster import (
+    USERS_PER_INSTANCE,
+    Tenant,
+    WorkloadSpec,
+    diurnal_users,
+    generate_flash_crowd,
+    peak_concurrent_users,
+    standard_mix,
+)
+from repro.cluster.workloads import generate_diurnal
+
+
+def spec(**overrides):
+    base = dict(name="w0", tenant="t0", kind="web", start_s=0.0, end_s=1.0,
+                users=USERS_PER_INSTANCE)
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+# -- specs -------------------------------------------------------------------------
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="unknown workload kind"):
+        spec(kind="mining")
+    with pytest.raises(ValueError, match="ends before it starts"):
+        spec(end_s=0.0)
+    with pytest.raises(ValueError, match="serves no users"):
+        spec(users=0)
+
+
+def test_spec_component_and_load():
+    assert spec(kind="web").component == "cpu"
+    assert spec(kind="render").component == "gpu"
+    assert spec(kind="bulk").component == "wifi"
+    assert spec(users=USERS_PER_INSTANCE // 2).load == pytest.approx(0.5)
+    assert spec(users=10 * USERS_PER_INSTANCE).load == 1.0   # saturates
+
+
+def test_spec_round_trips_through_dict():
+    original = spec(kind="render", weight=2.0)
+    assert WorkloadSpec.from_dict(original.to_dict()) == original
+
+
+def test_spec_overlap():
+    s = spec(start_s=1.0, end_s=2.0)
+    assert s.overlaps(0.0, 1.5)
+    assert s.overlaps(1.9, 3.0)
+    assert not s.overlaps(2.0, 3.0)
+    assert not s.overlaps(0.0, 1.0)
+
+
+# -- the diurnal curve -------------------------------------------------------------
+
+
+def test_diurnal_curve_shape():
+    peak = 1_000_000
+    assert diurnal_users(0.0, 10.0, peak) == pytest.approx(0.3 * peak, rel=1e-6)
+    assert diurnal_users(5.0, 10.0, peak) == peak
+    assert diurnal_users(10.0, 10.0, peak) == pytest.approx(
+        0.3 * peak, rel=1e-6)
+
+
+def test_diurnal_phase_shifts_the_peak():
+    # phase 0.5 swaps noon and midnight: the curve peaks at t=0.
+    peak = 1_000_000
+    assert diurnal_users(0.0, 10.0, peak, phase=0.5) == peak
+    assert diurnal_users(5.0, 10.0, peak, phase=0.5) == pytest.approx(
+        0.3 * peak, rel=1e-6)
+
+
+def test_generate_diurnal_tracks_tenant_windows():
+    tenants = [Tenant("early", leave_s=2.0), Tenant("late", join_s=2.0)]
+    specs = generate_diurnal(seed=3, horizon_s=4.0, peak_users=400_000,
+                             tenants=tenants)
+    assert specs
+    for s in specs:
+        if s.tenant == "early":
+            assert s.end_s <= 2.0
+        else:
+            assert s.start_s >= 2.0
+
+
+def test_generate_diurnal_is_deterministic():
+    tenants = [Tenant("t0"), Tenant("t1", share=0.5)]
+    a = generate_diurnal(seed=9, horizon_s=3.0, peak_users=500_000,
+                         tenants=tenants)
+    b = generate_diurnal(seed=9, horizon_s=3.0, peak_users=500_000,
+                         tenants=tenants)
+    assert a == b
+    c = generate_diurnal(seed=10, horizon_s=3.0, peak_users=500_000,
+                         tenants=tenants)
+    assert a != c
+
+
+def test_flash_crowd_lands_within_spread():
+    specs = generate_flash_crowd(seed=1, at_s=2.0, duration_s=1.0,
+                                 surge_users=300_000, tenant=Tenant("x"))
+    assert len(specs) == 6
+    for s in specs:
+        assert 2.0 <= s.start_s <= 2.25
+        assert s.end_s == pytest.approx(s.start_s + 1.0)
+
+
+def test_standard_mix_has_churn_and_staggered_phases():
+    specs, tenants = standard_mix(seed=7, horizon_s=4.0,
+                                  peak_users=800_000, n_tenants=3)
+    names = {t.name for t in tenants}
+    assert "late" in names and len(names) == 4
+    phases = sorted(t.phase for t in tenants if t.name != "late")
+    assert phases[0] == 0.0 and phases[-1] == 0.5   # peaks land apart
+    leaver = [t for t in tenants if t.leave_s is not math.inf
+              and t.name != "late"]
+    assert leaver                                   # tenant churn
+    assert specs == sorted(specs, key=lambda s: (s.start_s, s.name))
+    assert any(s.tenant == "late" and "flash" in s.name for s in specs)
+
+
+def test_peak_concurrent_users_counts_overlap():
+    specs = [spec(name="a", start_s=0.0, end_s=2.0),
+             spec(name="b", start_s=1.0, end_s=3.0),
+             spec(name="c", start_s=2.5, end_s=3.0)]
+    assert peak_concurrent_users(specs, 3.0) == 2 * USERS_PER_INSTANCE

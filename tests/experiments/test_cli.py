@@ -20,6 +20,7 @@ DRIVER_MODULES = {
     "powercap": "repro.experiments.powercap_exp",
     "faults": "repro.experiments.faults_exp",
     "sweep": "repro.experiments.sweep",
+    "cluster": "repro.experiments.cluster_exp",
 }
 
 

@@ -1,0 +1,39 @@
+"""The cluster experiment driver: campaign wiring and the bench artifact."""
+
+import json
+
+import pytest
+
+from repro.experiments.cluster_exp import run_cluster, write_bench
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    # Two nodes, short horizon, light traffic: the full pipeline (generate,
+    # place, calibrate, both allocators) in a few seconds.
+    return run_cluster(seed=4, nodes=2, horizon_s=1.5, peak_users=250_000)
+
+
+def test_campaign_runs_both_allocators(small_campaign):
+    result, runner = small_campaign
+    assert set(result.runs) == {"waterfill", "pi"}
+    assert result.nodes == 2
+    assert result.budget_w == pytest.approx(0.7 * result.uncapped_peak_w)
+    assert result.placement["instances"] == result.instances > 0
+    assert runner.stats.cells == 2          # one calibration cell per node
+    for metrics in result.runs.values():
+        assert metrics["budget_w"] == pytest.approx(result.budget_w)
+        assert metrics["epochs"] == 6
+
+
+def test_bench_payload_is_json_and_stable(small_campaign, tmp_path):
+    result, _runner = small_campaign
+    path = write_bench(result, str(tmp_path / "BENCH_cluster.json"))
+    payload = json.loads(open(path).read())
+    assert payload["experiment"] == "cluster"
+    assert payload["allocators"]["waterfill"]["compliance_pct"] is not None
+    assert payload["peak_concurrent_users"] > 0
+    # Identical campaign -> identical artifact (the determinism contract).
+    again, _ = run_cluster(seed=4, nodes=2, horizon_s=1.5,
+                           peak_users=250_000)
+    assert again.bench() == payload

@@ -5,9 +5,46 @@ Pool tests here use the tiny spawn-safe runners from
 ``test_par_differential.py``.
 """
 
+import io
+
 import pytest
 
-from repro.par import CellError, ParallelRunner, ResultCache, work_list
+from repro.par import (
+    CellError,
+    ParallelRunner,
+    ResultCache,
+    effective_jobs,
+    work_list,
+)
+
+
+def test_effective_jobs_caps_at_the_core_count():
+    stream = io.StringIO()
+    assert effective_jobs(8, cpu_count=4, stream=stream) == 4
+    warning = stream.getvalue()
+    assert "--jobs 8" in warning
+    assert "4 available CPU cores" in warning
+    assert warning.count("\n") == 1
+
+
+def test_effective_jobs_passes_reasonable_requests_through():
+    stream = io.StringIO()
+    assert effective_jobs(4, cpu_count=4, stream=stream) == 4
+    assert effective_jobs(1, cpu_count=4, stream=stream) == 1
+    # Unknown core count (cpu_count() may return None): trust the caller.
+    assert effective_jobs(16, cpu_count=0, stream=stream) == 16
+    assert stream.getvalue() == ""
+
+
+def test_effective_jobs_single_core_grammar():
+    stream = io.StringIO()
+    assert effective_jobs(2, cpu_count=1, stream=stream) == 1
+    assert "1 available CPU core;" in stream.getvalue()
+
+
+def test_effective_jobs_rejects_nonpositive_requests():
+    with pytest.raises(ValueError, match="jobs must be >= 1"):
+        effective_jobs(0, cpu_count=4)
 
 
 def _square_items(n, offset=7):
