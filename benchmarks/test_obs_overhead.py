@@ -1,12 +1,24 @@
 """Observability overhead: event-loop throughput and hook cost.
 
-Emits ``BENCH_obs.json`` at the repo root — the perf-trajectory data point
-the ROADMAP asks for: raw event-loop throughput (events/sec, with the
-dormant ``sim.obs``/``sim.profile`` guards on the dispatch hot path), the
-cost of an installed session with tracing *off* (metrics hooks live, no
-per-event bookkeeping), and the cost of tracing *on*.  Assertion bounds are
-deliberately loose — CI machines are noisy — the JSON carries the real
-numbers.
+Emits ``BENCH_obs.json`` at the repo root — the perf-trajectory data the
+ROADMAP asks for: raw event-loop throughput (events/sec, with the dormant
+``sim.obs``/``sim.profile`` guards on the dispatch hot path), the cost of an
+installed session with tracing *off* (metrics hooks live, no per-event
+bookkeeping), and the cost of tracing *on*.  The ``trajectory`` list keeps
+one labelled entry per hot-path generation so the speed story stays visible
+across PRs.
+
+Methodology notes, learned the hard way on this host:
+
+* the CPU's frequency governor idles low and takes ~2 s of sustained load
+  to reach steady state, so every session starts with a busy-loop warmup —
+  without it the first measurement reads ~3x slow;
+* rounds are *interleaved* across the no-session / tracer-off / tracer-on
+  variants (rather than N rounds of each in sequence) so slow frequency
+  drift hits all three equally instead of biasing the overhead ratios.
+
+Assertion bounds are deliberately loose — CI machines are noisy — the JSON
+carries the real numbers.
 """
 
 import json
@@ -24,17 +36,48 @@ from benchmarks.conftest import report
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_obs.json")
 
 LOOP_HORIZON = 50 * MSEC      # 50k chained 1us events per round
-ROUNDS = 5
+ROUNDS = 25
+
+#: Label for this hot-path generation's trajectory entry.  Bump when the
+#: engine changes enough that the next measurement starts a new story.
+GENERATION = "pr7-slot-heap-queue"
+
+#: Historical trajectory entries (same microbenchmark, earlier engines).
+#: pr3 numbers are the recorded BENCH_obs.json from the original session;
+#: pr7-prehost is the *pre-rewrite* engine measured warm on the PR 7 host,
+#: the honest same-host baseline for the rewrite's multiple.
+HISTORY = [
+    {
+        "label": "pr3-heap-queue",
+        "events_per_sec": 1131133.2,
+        "tracer_on_overhead_pct": 31.5,
+        "kernel_tracer_on_overhead_pct": 24.2,
+    },
+    {
+        "label": "pr7-prehost-heap-queue",
+        "events_per_sec": 920402.2,
+        "tracer_on_overhead_pct": 27.0,
+        "kernel_tracer_on_overhead_pct": -7.2,
+    },
+]
 
 
-def _time(fn, rounds=ROUNDS):
-    """Best-of-N wall seconds (min is the least noisy point estimate)."""
-    best = None
+def _warm(seconds=2.0):
+    """Hold the CPU busy until the frequency governor reaches steady state."""
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(1000))
+
+
+def _time_interleaved(fns, rounds=ROUNDS):
+    """Best-of-N wall seconds for each fn, with rounds interleaved."""
+    best = [None] * len(fns)
     for _ in range(rounds):
-        t0 = time.perf_counter()
-        fn()
-        elapsed = time.perf_counter() - t0
-        best = elapsed if best is None else min(best, elapsed)
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - t0
+            best[i] = elapsed if best[i] is None else min(best[i], elapsed)
     return best
 
 
@@ -66,15 +109,39 @@ def _overhead_pct(base_s, with_s):
     return 100.0 * (with_s - base_s) / base_s
 
 
-def test_bench_obs_overhead_and_emit_json():
-    loop_events = LOOP_HORIZON // 1000
-    loop_base = _time(lambda: _event_loop(None))
-    loop_off = _time(lambda: _event_loop(False))
-    loop_on = _time(lambda: _event_loop(True))
+def _load_trajectory():
+    """Prior trajectory (recorded file if present, else the history seed)."""
+    try:
+        with open(BENCH_PATH) as handle:
+            recorded = json.load(handle)
+    except (OSError, ValueError):
+        recorded = {}
+    trajectory = recorded.get("trajectory") or list(HISTORY)
+    return [entry for entry in trajectory if entry.get("label") != GENERATION]
 
-    kern_base = _time(lambda: _kernel_run(None), rounds=2)
-    kern_off = _time(lambda: _kernel_run(False), rounds=2)
-    kern_on = _time(lambda: _kernel_run(True), rounds=2)
+
+def test_bench_obs_overhead_and_emit_json():
+    _warm()
+    loop_events = LOOP_HORIZON // 1000
+    loop_base, loop_off, loop_on = _time_interleaved([
+        lambda: _event_loop(None),
+        lambda: _event_loop(False),
+        lambda: _event_loop(True),
+    ])
+    kern_base, kern_off, kern_on = _time_interleaved([
+        lambda: _kernel_run(None),
+        lambda: _kernel_run(False),
+        lambda: _kernel_run(True),
+    ], rounds=5)
+
+    trajectory = _load_trajectory()
+    trajectory.append({
+        "label": GENERATION,
+        "events_per_sec": round(loop_events / loop_base, 1),
+        "tracer_on_overhead_pct": round(_overhead_pct(loop_base, loop_on), 1),
+        "kernel_tracer_on_overhead_pct": round(
+            _overhead_pct(kern_base, kern_on), 1),
+    })
 
     payload = {
         "event_loop": {
@@ -94,6 +161,7 @@ def test_bench_obs_overhead_and_emit_json():
             "tracer_off_overhead_pct": _overhead_pct(kern_base, kern_off),
             "tracer_on_overhead_pct": _overhead_pct(kern_base, kern_on),
         },
+        "trajectory": trajectory,
     }
     with open(BENCH_PATH, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -112,11 +180,13 @@ def test_bench_obs_overhead_and_emit_json():
                      payload["event_loop"]["events_per_sec"]), "", ""])
     report("OBS-OVERHEAD", format_table(
         ["workload", "no session", "tracer off", "tracer on"], rows,
-        title="Observability overhead (best of {} rounds; target: session "
-              "with tracing off < 5%)".format(ROUNDS),
+        title="Observability overhead (best of {} interleaved rounds)".format(
+            ROUNDS),
     ))
 
-    # Loose sanity bounds only — the JSON carries the honest numbers.
+    # Loose sanity bounds only — the JSON carries the honest numbers.  The
+    # strict floor lives in tests/sim/test_perf_floor.py behind PSBOX_PERF.
     assert payload["event_loop"]["events_per_sec"] > 10_000
     assert payload["event_loop"]["tracer_off_overhead_pct"] < 15
+    assert payload["event_loop"]["tracer_on_overhead_pct"] < 15
     assert payload["kernel_workload"]["tracer_off_overhead_pct"] < 15

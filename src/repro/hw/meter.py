@@ -38,7 +38,12 @@ class PowerMeter:
         stays the exact integral, as a real DAQ glitch would not change the
         physical joules drawn.
         """
-        dt = dt or self.sample_interval
+        if dt is None:
+            dt = self.sample_interval
+        if dt <= 0:
+            raise ValueError(
+                "sample interval must be positive, got dt={!r}".format(dt)
+            )
         times, watts = self.rail(rail_name).trace.resample(t0, t1, dt)
         if self.noise_w > 0 and self._rng is not None:
             watts = watts + self._rng.normal(0.0, self.noise_w, size=len(watts))

@@ -44,11 +44,15 @@ class Obs:
     def install(self):
         """Publish as ``sim.obs``; returns self."""
         self.sim.obs = self
+        # Keep the simulator's push-side tracer reference in sync so events
+        # scheduled before the first run() still pick up span context.
+        self.sim._ctx_tracer = self.tracer if self.tracer.enabled else None
         return self
 
     def uninstall(self):
         if getattr(self.sim, "obs", None) is self:
             self.sim.obs = None
+            self.sim._ctx_tracer = None
 
     def bind_kernel(self, kernel):
         """Remember the kernel so snapshots can report its log health."""

@@ -12,20 +12,21 @@ properties make the tracer safe to leave in kernel code:
   ``obs = self.sim.obs`` / ``if obs is not None``; with no session installed
   an instrumentation point is one attribute read and a branch;
 * **causally linked across events** — scheduling an event while a span is
-  current stamps that span onto the event (see ``Simulator._push``), so a
-  span begun in one event handler is the parent of spans begun in the
-  continuation, even though the event loop unwound in between.  This is how
-  an IPI-shootdown span begun at ``begin_coschedule`` parents the per-core
-  arrival work that runs microseconds later.
+  current stamps that span onto the event (see the scheduling entry points
+  in ``Simulator``), so a span begun in one event handler is the parent of
+  spans begun in the continuation, even though the event loop unwound in
+  between.  This is how an IPI-shootdown span begun at ``begin_coschedule``
+  parents the per-core arrival work that runs microseconds later.
+
+The simulator keys its per-event bookkeeping off ``_seen_spans``: until the
+first ``begin`` call there is no context to propagate or reset, so the event
+loop's entire tracing cost is one flag check per event.
 
 Span lifetimes are explicit: ``begin`` returns a handle, ``end`` closes it.
 Spans that never close (a dropped shootdown IPI, a drain that never
 converges) stay open and are flagged ``unfinished`` by the exporter — an
 unclosed span *is* the story of a liveness bug.
 """
-
-import itertools
-
 
 class Span:
     """One open or closed interval of virtual time."""
@@ -77,9 +78,12 @@ class Tracer:
         self.spans = []       # every Span, in begin order (closed in place)
         self.instants = []    # (t, track, name, cat, args)
         self.samples = []     # (t, track, name, values) counter-track points
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self._stack = []      # spans begun (scoped) in the current cascade
         self._event_ctx = None   # span inherited from the scheduling context
+        # False until the first begin(): the simulator skips all per-event
+        # context bookkeeping (and push-side stamping) while this is unset.
+        self._seen_spans = False
 
     # -- the current-span context ------------------------------------------------
 
@@ -96,14 +100,15 @@ class Tracer:
         if self._stack:
             # A previous handler left scoped spans open: they stay open (the
             # owner holds their handles) but must not leak as parents into
-            # an unrelated event cascade.
-            self._stack = []
+            # an unrelated event cascade.  Mutate in place — the run loop
+            # holds a reference to this exact list.
+            del self._stack[:]
 
     def _exit_event(self):
         """Called by the simulator after an event handler returns."""
         self._event_ctx = None
         if self._stack:
-            self._stack = []
+            del self._stack[:]
 
     # -- spans ---------------------------------------------------------------------
 
@@ -118,10 +123,13 @@ class Tracer:
         """
         if not self.enabled:
             return None
+        self._seen_spans = True
         if parent is None:
             parent = self.current
+        span_id = self._next_id
+        self._next_id = span_id + 1
         span = Span(
-            next(self._ids),
+            span_id,
             parent.id if parent is not None else None,
             name, cat, track or (parent.track if parent is not None else ""),
             self.sim.now, args,

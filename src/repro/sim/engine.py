@@ -1,14 +1,48 @@
-"""The simulator: clock, event loop, process spawning."""
+"""The simulator: clock, event loop, process spawning.
 
+The event loop is the hottest code in the repository — every kernel,
+hardware, powercap, and cluster scenario is millions of trips through
+``run``.  Three decisions keep it fast without changing observable
+behaviour (the sha256 differential tests pin this down bit for bit):
+
+* **fused pop-if-due** — the loop mirrors ``EventQueue.pop_due`` inline
+  (head slot + heap spillover) instead of the historical ``peek_time()``
+  + ``pop()`` double walk;
+* **per-segment dispatch decision** — ``run`` latches the observability
+  session and profiler once per call and enters a dedicated loop (fast /
+  traced / profiled), instead of re-reading ``self.obs``/``self.profile``
+  for every event.  Installing a session or toggling ``tracer.enabled``
+  mid-handler therefore takes effect at the next ``run``/``step`` call —
+  nothing in the tree does this, and sessions are documented as
+  install-before-run;
+* **lazy trace bookkeeping** — with tracing enabled the loop pays one
+  flag check per event until the first span begins
+  (``tracer._seen_spans``); only after that does it stamp scheduling
+  context onto events and reset the tracer's per-cascade state.
+
+The scheduling entry points (``at``/``call_later``/``call_soon``) inline
+``EventQueue.push`` for the same reason; the queue's method remains the
+canonical definition of the ordering contract.
+"""
+
+from heapq import heappop, heappush
 from time import perf_counter
 
-from repro.sim.events import EventQueue
+from repro.sim.events import Event, EventQueue
 from repro.sim.process import Process, Signal
 from repro.sim.rng import RngRegistry
+
+_new_event = Event.__new__
+
+#: limit for an un-bounded run(); int times compare fine against it
+_FOREVER = float("inf")
 
 
 class Simulator:
     """Owns the virtual clock and runs events in timestamp order."""
+
+    __slots__ = ("_now", "_queue", "rng", "processes", "faults", "obs",
+                 "profile", "_ctx_tracer")
 
     def __init__(self, seed=0):
         self._now = 0
@@ -30,11 +64,22 @@ class Simulator:
         # None.  Measures host time per event handler; virtual time is
         # untouched.
         self.profile = None
+        # The active tracer when scheduling-context stamping may be needed
+        # (session installed with tracing enabled), else None.  Maintained
+        # by Obs.install/uninstall and re-latched by run()/step().
+        self._ctx_tracer = None
 
     @property
     def now(self):
         """Current simulation time in integer nanoseconds."""
         return self._now
+
+    # -- scheduling --------------------------------------------------------------
+    #
+    # The three entry points repeat the slot/heap push inline: a chained
+    # helper (the historical at -> _push -> queue.push) costs two extra
+    # Python frames per event, which is most of the queue's former budget.
+    # EventQueue.push documents the ordering contract they all follow.
 
     def at(self, time, fn, *args):
         """Schedule ``fn(*args)`` at an absolute time (>= now)."""
@@ -42,26 +87,93 @@ class Simulator:
             raise ValueError(
                 "cannot schedule at t={} before now={}".format(time, self._now)
             )
-        return self._push(time, fn, args)
+        queue = self._queue
+        event = _new_event(Event)
+        event.time = time
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        tracer = self._ctx_tracer
+        if tracer is not None and tracer._seen_spans:
+            stack = tracer._stack
+            ctx = stack[-1] if stack else tracer._event_ctx
+            if ctx is not None:
+                event.ctx = ctx
+        head = queue._head
+        if head is None:
+            queue._head = event
+        elif time < head.time:
+            heappush(queue._heap,
+                     (head.time, getattr(head, "seq", -1), head))
+            queue._head = event
+        else:
+            seq = queue._seq
+            queue._seq = seq + 1
+            event.seq = seq
+            heappush(queue._heap, (time, seq, event))
+        return event
 
     def call_later(self, delay, fn, *args):
         """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
-        return self.at(self._now + delay, fn, *args)
+        now = self._now
+        time = now + delay
+        if time < now:
+            raise ValueError(
+                "cannot schedule at t={} before now={}".format(time, now)
+            )
+        queue = self._queue
+        event = _new_event(Event)
+        event.time = time
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        tracer = self._ctx_tracer
+        if tracer is not None and tracer._seen_spans:
+            stack = tracer._stack
+            ctx = stack[-1] if stack else tracer._event_ctx
+            if ctx is not None:
+                event.ctx = ctx
+        head = queue._head
+        if head is None:
+            queue._head = event
+        elif time < head.time:
+            heappush(queue._heap,
+                     (head.time, getattr(head, "seq", -1), head))
+            queue._head = event
+        else:
+            seq = queue._seq
+            queue._seq = seq + 1
+            event.seq = seq
+            heappush(queue._heap, (time, seq, event))
+        return event
 
     def call_soon(self, fn, *args):
         """Schedule ``fn(*args)`` at the current instant (after pending ties)."""
-        return self._push(self._now, fn, args)
-
-    def _push(self, time, fn, args):
-        event = self._queue.push(time, fn, args)
-        obs = self.obs
-        if obs is not None and obs.tracer.enabled:
-            # Trace-context propagation: the event inherits the span that
-            # is current right now, so a span begun in this handler can
-            # close (and parent children) in the continuation.
-            ctx = obs.tracer.current
+        time = self._now
+        queue = self._queue
+        event = _new_event(Event)
+        event.time = time
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        tracer = self._ctx_tracer
+        if tracer is not None and tracer._seen_spans:
+            stack = tracer._stack
+            ctx = stack[-1] if stack else tracer._event_ctx
             if ctx is not None:
                 event.ctx = ctx
+        head = queue._head
+        if head is None:
+            queue._head = event
+        elif time < head.time:
+            heappush(queue._heap,
+                     (head.time, getattr(head, "seq", -1), head))
+            queue._head = event
+        else:
+            seq = queue._seq
+            queue._seq = seq + 1
+            event.seq = seq
+            heappush(queue._heap, (time, seq, event))
         return event
 
     def signal(self, name=""):
@@ -74,26 +186,85 @@ class Simulator:
         self.processes.append(process)
         return process
 
+    # -- the event loop ----------------------------------------------------------
+
+    def _latch_dispatch(self):
+        """Latch the per-segment dispatch decision; returns the tracer."""
+        obs = self.obs
+        tracer = obs.tracer if obs is not None and obs.tracer.enabled \
+            else None
+        self._ctx_tracer = tracer
+        return tracer
+
     def run(self, until=None):
         """Run events until the queue drains or the clock reaches ``until``.
 
         When ``until`` is given the clock always finishes exactly there, even
         if the queue drained earlier — callers rely on ``now`` afterwards.
         """
-        while True:
-            next_time = self._queue.peek_time()
-            if next_time is None or (until is not None and next_time > until):
-                break
-            event = self._queue.pop()
-            self._now = event.time
-            obs = self.obs
-            if self.profile is None and (obs is None
-                                         or not obs.tracer.enabled):
-                # The fast path also covers an installed session with
-                # tracing off: metrics hooks live inside handlers and need
-                # no per-event bookkeeping, only spans do.
-                event.fn(*event.args)
-            else:
+        tracer = self._latch_dispatch()
+        limit = until if until is not None else _FOREVER
+        queue = self._queue
+        heap = queue._heap
+        if tracer is None and self.profile is None:
+            # Fast loop: the inlined pop_due and nothing else.
+            while True:
+                event = queue._head
+                if event is None:
+                    break
+                time = event.time
+                if time > limit:
+                    break
+                queue._head = heappop(heap)[2] if heap else None
+                if event.cancelled:
+                    continue
+                self._now = time
+                args = event.args
+                if args:
+                    event.fn(*args)
+                else:
+                    event.fn()
+        elif self.profile is None:
+            # Traced loop: until the first span begins, one flag check per
+            # event is the entire tracing cost.  Afterwards each event
+            # resets the per-cascade state the way _enter_event used to —
+            # the reset folds into the *next* event's prologue (and the
+            # finally below), which nothing can observe in between.
+            stack = tracer._stack
+            try:
+                while True:
+                    event = queue._head
+                    if event is None:
+                        break
+                    time = event.time
+                    if time > limit:
+                        break
+                    queue._head = heappop(heap)[2] if heap else None
+                    if event.cancelled:
+                        continue
+                    self._now = time
+                    if tracer._seen_spans:
+                        tracer._event_ctx = getattr(event, "ctx", None)
+                        if stack:
+                            del stack[:]
+                    args = event.args
+                    if args:
+                        event.fn(*args)
+                    else:
+                        event.fn()
+            finally:
+                tracer._event_ctx = None
+                if stack:
+                    del stack[:]
+        else:
+            # Profiled (and possibly traced) loop: rare, so it takes the
+            # generic per-event dispatch.
+            pop_due = queue.pop_due
+            while True:
+                event = pop_due(limit)
+                if event is None:
+                    break
+                self._now = event.time
                 self._dispatch(event)
         if until is not None and until > self._now:
             self._now = until
@@ -101,24 +272,24 @@ class Simulator:
 
     def step(self):
         """Run a single event; return False when the queue is empty."""
+        tracer = self._latch_dispatch()
         event = self._queue.pop()
         if event is None:
             return False
         self._now = event.time
-        obs = self.obs
-        if self.profile is None and (obs is None or not obs.tracer.enabled):
+        if tracer is None and self.profile is None:
             event.fn(*event.args)
         else:
             self._dispatch(event)
         return True
 
     def _dispatch(self, event):
-        """The observed dispatch path: trace-context resume + profiling."""
+        """The generic observed dispatch: trace-context resume + profiling."""
         obs = self.obs
         tracer = None
         if obs is not None and obs.tracer.enabled:
             tracer = obs.tracer
-            tracer._enter_event(event.ctx)
+            tracer._enter_event(getattr(event, "ctx", None))
         profile = self.profile
         try:
             if profile is not None:
@@ -137,5 +308,5 @@ class Simulator:
                 tracer._exit_event()
 
     def pending(self):
-        """Number of live events still queued."""
+        """Number of live events still queued (O(queued) — diagnostics)."""
         return len(self._queue)

@@ -53,6 +53,9 @@ class Signal:
 class Process:
     """Drives one generator coroutine inside the simulator."""
 
+    __slots__ = ("sim", "generator", "name", "finished", "result",
+                 "_pending_event", "done")
+
     def __init__(self, sim, generator, name=""):
         self.sim = sim
         self.generator = generator

@@ -66,3 +66,25 @@ def test_mean_power_passthrough():
     rail.set_part("a", 1.5)
     sim.run(until=SEC)
     assert meter.mean_power("r", 0, SEC) == pytest.approx(1.5)
+
+
+def test_sample_dt_zero_raises_instead_of_silent_default():
+    """Regression: ``dt=0`` used to fall through ``dt or sample_interval``
+    to the default interval instead of being rejected."""
+    sim, rail, meter = make_meter()
+    rail.set_part("a", 1.0)
+    with pytest.raises(ValueError, match="positive"):
+        meter.sample("r", 0, MSEC, dt=0)
+
+
+def test_sample_negative_dt_raises():
+    sim, rail, meter = make_meter()
+    with pytest.raises(ValueError, match="positive"):
+        meter.sample("r", 0, MSEC, dt=-10)
+
+
+def test_sample_dt_none_uses_configured_interval():
+    sim, rail, meter = make_meter()
+    rail.set_part("a", 1.0)
+    times, _watts = meter.sample("r", 0, MSEC, dt=None)
+    assert len(times) == MSEC // meter.sample_interval

@@ -109,6 +109,45 @@ def test_cancel_is_idempotent():
     assert q.pop() is None
 
 
+def test_pop_due_respects_limit():
+    q = make_queue()
+    early = q.push(5, lambda: None, ())
+    q.push(10, lambda: None, ())
+    assert q.pop_due(4) is None       # nothing due yet
+    assert q.pop_due(5) is early      # inclusive limit
+    assert q.pop_due(9) is None       # next event still queued
+    assert len(q) == 1
+
+
+def test_pop_due_skips_cancelled_up_to_limit():
+    q = make_queue()
+    dead = q.push(1, lambda: None, ())
+    keep = q.push(2, lambda: None, ())
+    dead.cancel()
+    assert q.pop_due(2) is keep
+    assert q.pop_due(2) is None
+
+
+def test_pop_due_with_cancelled_head_past_limit():
+    """A cancelled head beyond the limit must not hide a due event —
+    impossible by construction (the head is the queue minimum), so the
+    contract is simply: nothing due, nothing popped, corpse still lazy."""
+    q = make_queue()
+    dead = q.push(9, lambda: None, ())
+    dead.cancel()
+    assert q.pop_due(5) is None
+    assert q.pop_due(9) is None
+    assert q.pop() is None
+
+
+def test_pop_due_fifo_among_ties():
+    q = make_queue()
+    first = q.push(3, lambda: None, ())
+    second = q.push(3, lambda: None, ())
+    assert q.pop_due(3) is first
+    assert q.pop_due(3) is second
+
+
 def test_event_ordering_operator():
     a = Event(1, 0, None, ())
     b = Event(1, 1, None, ())

@@ -1,0 +1,98 @@
+"""Model-based property test for the slot-plus-heap event queue.
+
+The reference model is the naive structure the queue must be
+indistinguishable from: a plain list of (time, push_index, handle) kept in
+push order, where a pop scans for the live entry with the smallest
+(time, push_index).  Hypothesis drives both through random interleavings of
+push / cancel / pop / pop_due / peek — with a tiny time domain so
+same-timestamp ties are common, and cancel targets chosen so the current
+head is regularly killed in place — asserting the identical pop order and
+the identical ``len()`` after every single operation.
+
+This is the harness that guards the queue's two delicate tricks: lazy
+sequence numbers (assigned only on heap entry, sentinel ``-1`` when the
+head slot spills) and lazy corpse pruning.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+
+#: one op: ("push", t) | ("cancel", k) | ("pop",) | ("pop_due", t) | ("peek",)
+#: the tiny time range forces frequent ties; cancel picks modulo handles.
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(min_value=0, max_value=8)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=300)),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("pop_due"), st.integers(min_value=0, max_value=8)),
+        st.tuples(st.just("peek")),
+    ),
+    max_size=200,
+)
+
+
+class _ReferenceQueue:
+    """The obviously-correct model: a scan over a push-ordered list."""
+
+    def __init__(self):
+        self._entries = []        # (time, push_index, event-handle)
+        self._pushes = 0
+
+    def record(self, time, event):
+        self._entries.append((time, self._pushes, event))
+        self._pushes += 1
+
+    def _live(self):
+        return [e for e in self._entries if not e[2].cancelled]
+
+    def __len__(self):
+        return len(self._live())
+
+    def pop(self, limit=None):
+        live = self._live()
+        if not live:
+            return None
+        best = min(live, key=lambda e: (e[0], e[1]))
+        if limit is not None and best[0] > limit:
+            return None
+        self._entries.remove(best)
+        return best[2]
+
+    def peek_time(self):
+        live = self._live()
+        if not live:
+            return None
+        return min(live, key=lambda e: (e[0], e[1]))[0]
+
+
+@given(_OPS)
+@settings(max_examples=300, deadline=None)
+def test_queue_matches_sorted_list_reference(ops):
+    queue = EventQueue()
+    model = _ReferenceQueue()
+    handles = []
+    for op in ops:
+        kind = op[0]
+        if kind == "push":
+            event = queue.push(op[1], lambda: None, ())
+            model.record(op[1], event)
+            handles.append(event)
+        elif kind == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+        elif kind == "pop":
+            assert queue.pop() is model.pop()
+        elif kind == "pop_due":
+            assert queue.pop_due(op[1]) is model.pop(limit=op[1])
+        else:
+            assert queue.peek_time() == model.peek_time()
+        assert len(queue) == len(model)
+    # Drain: the tail order must agree too.
+    while True:
+        event = queue.pop()
+        assert event is model.pop()
+        assert len(queue) == len(model)
+        if event is None:
+            break
