@@ -36,6 +36,7 @@ from repro.cluster.placement import (
     placements_by_node,
 )
 from repro.cluster.predictor import NODE_IDLE_WATTS, PowerPredictor
+from repro.cluster.telemetry import ClusterTelemetry, EpochClock
 from repro.cluster.topology import ClusterTopology, Node, NodeSpec, node_seed
 from repro.cluster.workloads import (
     USERS_PER_INSTANCE,
@@ -53,7 +54,9 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "ClusterRun",
+    "ClusterTelemetry",
     "ClusterTopology",
+    "EpochClock",
     "GlobalAllocator",
     "NODE_IDLE_WATTS",
     "Node",

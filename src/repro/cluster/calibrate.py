@@ -33,7 +33,8 @@ def run_node_calibration(seed, config):
     workloads = [WorkloadSpec.from_dict(w) for w in config["workloads"]]
     horizon_ns = int(config["horizon_s"] * SEC)
     epoch_ns = int(config["epoch_ms"] * 1e6)
-    node = Node(spec, workloads, seed=seed, with_controller=False)
+    node = Node(spec, workloads, seed=seed, with_controller=False,
+                obs_label="cal/" + spec.name)
     node.advance(horizon_ns)
     series = node.mean_power_series(epoch_ns, horizon_ns)
     return {

@@ -66,16 +66,20 @@ class Cluster:
     """N simulated nodes under one datacenter budget."""
 
     def __init__(self, topology, placements_by_node, allocator, config,
-                 seed=0, predictor=None, placements=None):
+                 seed=0, predictor=None, placements=None, telemetry=None):
         self.topology = topology
         self.allocator = allocator
         self.config = config
         self.seed = seed
         self.predictor = predictor
+        self.telemetry = telemetry   # ClusterTelemetry or None (dormant)
         self._placements = list(placements or [])
         self.nodes = [
+            # Session labels carry the allocator so one trace file can hold
+            # both head-to-head runs without ambiguous node names.
             Node(spec, placements_by_node.get(spec.name, ()),
-                 seed=node_seed(seed, index))
+                 seed=node_seed(seed, index),
+                 obs_label="{}/{}".format(allocator.name, spec.name))
             for index, spec in enumerate(topology)
         ]
 
@@ -115,7 +119,7 @@ class Cluster:
             caps = self.allocator.allocate(telemetry, cfg.budget_w, dt_s)
             for node in self.nodes:
                 node.set_cap(caps[node.name])
-            run.epochs.append(EpochRecord(
+            record = EpochRecord(
                 t_s=end / SEC,
                 aggregate_w=sum(x.measured_w for x in telemetry),
                 budget_w=cfg.budget_w,
@@ -123,7 +127,11 @@ class Cluster:
                 measured_w={x.name: x.measured_w for x in telemetry},
                 demand_w={x.name: x.demand_w for x in telemetry},
                 redistributed_w=redistribution_w(caps, telemetry),
-            ))
+            )
+            run.epochs.append(record)
+            if self.telemetry is not None:
+                self.telemetry.on_epoch(record, telemetry, self.nodes,
+                                        t, end)
             if self.predictor is not None:
                 self._feed_predictor(predicted_by_name, t, end)
             t = end
@@ -133,6 +141,8 @@ class Cluster:
         if self.predictor is not None:
             run.predictor_stats = self.predictor.stats()
         run.metrics = self._metrics(run)
+        if self.telemetry is not None:
+            self.telemetry.on_run_complete(run)
         return run
 
     def _feed_predictor(self, predicted_by_name, t0, t1):

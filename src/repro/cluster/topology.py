@@ -110,15 +110,17 @@ class Node:
     """A booted node: simulator, kernel, placed apps, powercap daemon."""
 
     def __init__(self, spec, workloads, seed, with_controller=True,
-                 controller_config=None):
+                 controller_config=None, obs_label=None):
         self.spec = spec
         self.name = spec.name
         self.workloads = list(workloads)
         self.platform = Platform.full(seed=seed,
                                       n_cpu_cores=spec.n_cpu_cores)
         self.kernel = Kernel(self.platform, config=KernelConfig())
+        # obs_label distinguishes the many sessions one campaign boots per
+        # node name (calibration, each allocator's enforcement run).
         obs_runtime.install(self.platform.sim, kernel=self.kernel,
-                            label=spec.name)
+                            label=obs_label or spec.name)
         self.apps = {}
         self.boxes = {}
         sim = self.platform.sim

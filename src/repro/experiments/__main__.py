@@ -11,6 +11,9 @@ Observability (``repro.obs``) rides along on any run::
     python -m repro.experiments fig6 --trace fig6.json      # Perfetto/Chrome
     python -m repro.experiments fig6 --metrics metrics.json # counters etc.
     python -m repro.experiments fig6 --profile              # host hotspots
+    python -m repro.experiments cluster --telemetry --report
+                            # virtual-time series, OpenMetrics, merged
+                            # trace, SLO/alert report under ./telemetry/
 
 Multi-run workloads fan out across processes (``repro.par``) with results
 byte-identical to the serial run, and a content-addressed cache skips
@@ -345,6 +348,16 @@ def main(argv=None):
                         metavar="N",
                         help="profile the event loop on the host clock and "
                              "print the top N handler callsites (default 12)")
+    parser.add_argument("--telemetry", nargs="?", const="telemetry",
+                        metavar="DIR",
+                        help="arm the full telemetry stack (timeline series "
+                             "+ alert engine + tracing) and write the export "
+                             "bundle — OpenMetrics text, JSONL series, "
+                             "merged Chrome trace, alert summary — under "
+                             "DIR (default ./telemetry)")
+    parser.add_argument("--report", action="store_true",
+                        help="print the SLO/alert report after the run "
+                             "(implies --telemetry)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="fan independent cells across N processes "
                              "(faults, sweep); output is byte-identical to "
@@ -383,21 +396,27 @@ def main(argv=None):
         if name not in EXPERIMENTS:
             parser.error("unknown experiment {!r} (try --list)".format(name))
 
-    observing = bool(args.trace or args.metrics or args.profile is not None)
-    if (args.jobs > 1 and (args.trace or args.profile is not None)
+    if args.report and args.telemetry is None:
+        args.telemetry = "telemetry"
+    observing = bool(args.trace or args.metrics or args.profile is not None
+                     or args.telemetry is not None)
+    if (args.jobs > 1
+            and (args.trace or args.profile is not None
+                 or args.telemetry is not None)
             and any(name in NEEDS_ARGS for name in names)):
-        # workers arm metrics only — span/sample streams are too hot to
-        # ship across the process boundary, so parallel cells are invisible
-        # to --trace/--profile
-        print("warning: --trace/--profile cover only the parent process; "
-              "cells run with --jobs {} are not traced or profiled "
-              "(use --jobs 1, or --metrics for aggregated counters)"
-              .format(args.jobs), file=sys.stderr)
+        # workers arm metrics only — span/sample/timeline streams are too
+        # hot to ship across the process boundary, so parallel cells are
+        # invisible to --trace/--profile/--telemetry
+        print("warning: --trace/--profile/--telemetry cover only the parent "
+              "process; cells run with --jobs {} are not traced, profiled, "
+              "or sampled (use --jobs 1, or --metrics for aggregated "
+              "counters)".format(args.jobs), file=sys.stderr)
     if observing:
         obs_runtime.configure(
-            tracing=args.trace is not None,
+            tracing=args.trace is not None or args.telemetry is not None,
             metrics=True,
             profiling=args.profile is not None,
+            telemetry=args.telemetry is not None,
         )
     try:
         for name in names:
@@ -434,9 +453,46 @@ def _export_observability(args):
         export_metrics(sessions, args.metrics)
         print("metrics snapshot -> {}".format(args.metrics))
         print(format_metrics_table(metrics_snapshot(sessions)))
+    if args.telemetry is not None:
+        _export_telemetry(args, sessions)
     profiler = obs_runtime.profiler()
     if args.profile is not None and profiler is not None:
         print(profiler.format_table(args.profile))
+
+
+def _export_telemetry(args, sessions):
+    """Write the telemetry bundle and (optionally) print the alert report.
+
+    The bundle is one directory holding every export surface: OpenMetrics
+    text for scrape-shaped consumers, the JSONL series dump for offline
+    analysis, the merged Chrome trace (each session its own pid track,
+    alert instants included), and the structured alert summary.
+    """
+    import json
+    import os
+
+    from repro.obs import (
+        export_chrome_trace,
+        export_openmetrics,
+        export_timeline_jsonl,
+    )
+
+    engine = obs_runtime.finalize_telemetry()
+    out = args.telemetry
+    os.makedirs(out, exist_ok=True)
+    families = export_openmetrics(sessions, os.path.join(out, "metrics.om"))
+    series = export_timeline_jsonl(sessions, os.path.join(out,
+                                                          "series.jsonl"))
+    events = export_chrome_trace(sessions, os.path.join(out, "trace.json"))
+    summary = engine.summary() if engine is not None else {
+        "ok": True, "rules": 0, "alerts": [], "counts": {}}
+    with open(os.path.join(out, "report.json"), "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("telemetry: {} metric families, {} series, {} trace events "
+          "-> {}/".format(families, series, events, out))
+    if args.report and engine is not None:
+        print(engine.format_report())
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.cluster import (
     Cluster,
     ClusterConfig,
+    ClusterTelemetry,
     ClusterTopology,
     PIBaselineAllocator,
     PlacementEngine,
@@ -38,6 +39,7 @@ from repro.cluster import (
     placements_by_node,
     standard_mix,
 )
+from repro.obs import runtime as obs_runtime
 
 #: default shape of the acceptance run
 DEFAULT_NODES = 8
@@ -103,6 +105,13 @@ def run_cluster(seed=11, nodes=DEFAULT_NODES, horizon_s=DEFAULT_HORIZON_S,
     placements = engine.place_all(specs)
     by_node = placements_by_node(placements)
     quality = placement_quality(placements, topology, horizon_s, engine)
+    # One session for the campaign-level phases (placement), plus one per
+    # allocator's cap loop below — all registered with the CLI runtime so
+    # --trace/--metrics/--telemetry cover them.  None when nothing armed.
+    campaign_telemetry = (ClusterTelemetry.for_runtime(label="cluster")
+                          if obs_runtime.is_active() else None)
+    if campaign_telemetry is not None:
+        campaign_telemetry.on_placement(placements)
 
     payloads, runner = calibrate(topology, by_node, seed, horizon_s,
                                  epoch_ms, jobs=jobs, cache=cache,
@@ -126,10 +135,14 @@ def run_cluster(seed=11, nodes=DEFAULT_NODES, horizon_s=DEFAULT_HORIZON_S,
     # allocator-vs-allocator over identical nodes.
     for allocator, feed in ((WaterFillingAllocator(), True),
                             (PIBaselineAllocator(), False)):
+        telemetry = (ClusterTelemetry.for_runtime(
+                         label="cluster/" + allocator.name)
+                     if obs_runtime.is_active() else None)
         cluster = Cluster(
             topology, by_node, allocator, config, seed=seed,
             predictor=predictor if feed else None,
             placements=placements if feed else None,
+            telemetry=telemetry,
         )
         result.runs[allocator.name] = cluster.run().metrics
     result.predictor = predictor.stats()

@@ -13,16 +13,25 @@ or, from the command line::
     python -m repro.experiments fig6 --trace t.json --metrics m.json
 """
 
+from repro.obs.alerts import Alert, AlertEngine, AlertRule, default_rules
 from repro.obs.exporters import (
     chrome_trace_events,
     export_chrome_trace,
     export_metrics,
+    export_timeline_jsonl,
     format_metrics_table,
     metrics_snapshot,
+    timeline_jsonl_lines,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.openmetrics import (
+    export_openmetrics,
+    openmetrics_lines,
+    render_openmetrics,
+)
 from repro.obs.profiler import EventLoopProfiler
 from repro.obs.session import Obs, kernel_logs
+from repro.obs.timeline import Series, Timeline
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
@@ -33,11 +42,22 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Timeline",
+    "Series",
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "default_rules",
     "EventLoopProfiler",
     "chrome_trace_events",
     "export_chrome_trace",
     "export_metrics",
+    "export_openmetrics",
+    "export_timeline_jsonl",
     "metrics_snapshot",
+    "openmetrics_lines",
+    "render_openmetrics",
+    "timeline_jsonl_lines",
     "format_metrics_table",
     "kernel_logs",
 ]

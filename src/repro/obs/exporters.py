@@ -127,18 +127,29 @@ def export_chrome_trace(sessions, path):
 
 
 def metrics_snapshot(sessions):
-    """JSON-ready snapshot: per-session metrics plus a merged rollup."""
+    """JSON-ready snapshot: per-session metrics plus a merged rollup.
+
+    ``unfinished_spans`` counts the spans still open at snapshot time, per
+    session and summed — the aggregate the exporter's per-span
+    ``unfinished: true`` annotations never provided, and the number the
+    alert engine's trace-liveness rule watches.
+    """
     merged = MetricsRegistry()
     per_session = []
+    unfinished_total = 0
     for obs in sessions:
         merged.merge_from(obs.metrics)
+        unfinished = obs.tracer.unfinished_count()
+        unfinished_total += unfinished
         per_session.append({
             "label": obs.label,
             "sim_ns": obs.sim.now,
             "metrics": obs.metrics.snapshot(),
             "logs": obs.log_stats(),
+            "unfinished_spans": unfinished,
         })
-    return {"sessions": per_session, "merged": merged.snapshot()}
+    return {"sessions": per_session, "merged": merged.snapshot(),
+            "unfinished_spans": unfinished_total}
 
 
 def export_metrics(sessions, path):
@@ -147,6 +158,45 @@ def export_metrics(sessions, path):
     with open(path, "w") as handle:
         json.dump(snap, handle, indent=2, sort_keys=True)
     return snap
+
+
+# -- timeline series ---------------------------------------------------------------
+
+
+def timeline_jsonl_lines(sessions):
+    """One JSON document per line, one line per (session, series).
+
+    Each line carries the session label, the series name and labels, the
+    retained ``[t_ns, value]`` points (oldest first), and the ring's
+    dropped-sample count — so a consumer can both replay the window and
+    know exactly how much history it is missing.  Sessions keep boot
+    order; series within a session are sorted by (name, labels), so the
+    dump is deterministic.
+    """
+    lines = []
+    for obs in sessions:
+        timeline = getattr(obs, "timeline", None)
+        if timeline is None:
+            continue
+        for series in timeline.all():
+            lines.append(json.dumps({
+                "session": obs.label,
+                "series": series.name,
+                "labels": dict(series.labels),
+                "dropped": series.dropped,
+                "points": [[t, v] for t, v in series.points()],
+            }, sort_keys=True))
+    return lines
+
+
+def export_timeline_jsonl(sessions, path):
+    """Write the JSONL time-series dump; returns the number of series."""
+    lines = timeline_jsonl_lines(sessions)
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+    return len(lines)
 
 
 def format_metrics_table(snapshot):

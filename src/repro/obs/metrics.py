@@ -58,7 +58,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "_values", "_weights", "count", "total", "wtotal",
-                 "min", "max")
+                 "min", "max", "_sorted")
 
     def __init__(self, name):
         self.name = name
@@ -69,6 +69,7 @@ class Histogram:
         self.wtotal = 0.0    # sum of weights
         self.min = None
         self.max = None
+        self._sorted = None  # cached (sorted pairs, cumulative weights)
 
     def observe(self, value, weight=1.0):
         value = float(value)
@@ -77,6 +78,7 @@ class Histogram:
             return
         self._values.append(value)
         self._weights.append(weight)
+        self._sorted = None
         self.count += 1
         self.total += value * weight
         self.wtotal += weight
@@ -87,18 +89,33 @@ class Histogram:
     def mean(self):
         return self.total / self.wtotal if self.wtotal else None
 
+    def _sorted_pairs(self):
+        """Sorted (value, weight) pairs with cumulative weights, cached.
+
+        Invalidated by ``observe``/``merge_from``, so a multi-quantile
+        ``snapshot()`` sorts once instead of once per quantile.
+        """
+        if self._sorted is None:
+            pairs = sorted(zip(self._values, self._weights))
+            cum = []
+            running = 0.0
+            for _value, weight in pairs:
+                running += weight
+                cum.append(running)
+            self._sorted = (pairs, cum)
+        return self._sorted
+
     def quantile(self, q):
-        """Weighted quantile: the smallest value covering fraction ``q``."""
-        if not self._values:
-            return None
+        """Weighted quantile: the smallest value covering fraction ``q``.
+
+        An out-of-range ``q`` raises even on an empty histogram (the
+        validity of the question does not depend on the data).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
-        pairs = sorted(zip(self._values, self._weights))
-        cum = []
-        running = 0.0
-        for _value, weight in pairs:
-            running += weight
-            cum.append(running)
+        if not self._values:
+            return None
+        pairs, cum = self._sorted_pairs()
         idx = bisect.bisect_left(cum, q * self.wtotal)
         return pairs[min(idx, len(pairs) - 1)][0]
 

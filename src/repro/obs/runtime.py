@@ -1,34 +1,58 @@
 """Process-global observability wiring for the experiment CLI.
 
 The experiment drivers boot many independent simulators per figure; this
-module is how one ``--trace``/``--metrics``/``--profile`` invocation reaches
-all of them without threading a parameter through every driver.  The CLI
-calls :func:`configure` once; :func:`install` — called by
+module is how one ``--trace``/``--metrics``/``--profile``/``--telemetry``
+invocation reaches all of them without threading a parameter through every
+driver.  The CLI calls :func:`configure` once; :func:`install` — called by
 ``repro.experiments.common.boot`` on every fresh simulator — then attaches
 an :class:`~repro.obs.session.Obs` session (and the shared wall-clock
 profiler) to each run.  With nothing configured, ``install`` is a no-op and
 experiments behave exactly as before.
+
+Telemetry adds two shared pieces: every installed session gets its own
+:class:`~repro.obs.timeline.Timeline`, and one process-wide
+:class:`~repro.obs.alerts.AlertEngine` watches them all — so one
+``--report`` covers a whole cluster of sessions.
 """
 
 from repro.obs.profiler import EventLoopProfiler
 from repro.obs.session import Obs
+from repro.obs.timeline import Timeline
 
 _config = None       # dict of configure() kwargs, or None (inactive)
 _sessions = []       # Obs sessions in boot order
 _profiler = None     # one EventLoopProfiler shared across runs
+_alerts = None       # one AlertEngine watching every telemetry session
 _label_prefix = ""
 _label_counts = {}
 
+#: ring capacity of each session's timeline series
+TIMELINE_CAPACITY = 4096
 
-def configure(tracing=False, metrics=True, profiling=False):
-    """Arm observability for every simulator booted from now on."""
-    global _config
+
+def configure(tracing=False, metrics=True, profiling=False, telemetry=False,
+              rules=None):
+    """Arm observability for every simulator booted from now on.
+
+    ``telemetry=True`` attaches a :class:`Timeline` to each session and
+    stands up the process-wide alert engine with ``rules`` (default:
+    :func:`repro.obs.alerts.default_rules`).
+    """
+    global _config, _alerts
     _config = {"tracing": tracing, "metrics": metrics,
-               "profiling": profiling}
+               "profiling": profiling, "telemetry": telemetry}
+    if telemetry:
+        from repro.obs.alerts import AlertEngine
+
+        _alerts = AlertEngine(rules)
 
 
 def is_active():
     return _config is not None
+
+
+def telemetry_active():
+    return _config is not None and _config["telemetry"]
 
 
 def set_label_prefix(prefix):
@@ -46,10 +70,14 @@ def install(sim, kernel=None, label=""):
         n = _label_counts.get(_label_prefix, 0) + 1
         _label_counts[_label_prefix] = n
         label = "{}:{}".format(_label_prefix or "run", n)
-    obs = Obs(sim, label=label, tracing=_config["tracing"]).install()
+    timeline = Timeline(TIMELINE_CAPACITY) if _config["telemetry"] else None
+    obs = Obs(sim, label=label, tracing=_config["tracing"],
+              timeline=timeline).install()
     if kernel is not None:
         obs.bind_kernel(kernel)
     _sessions.append(obs)
+    if _alerts is not None:
+        _alerts.watch(obs)
     if _config["profiling"]:
         if _profiler is None:
             _profiler = EventLoopProfiler()
@@ -77,11 +105,36 @@ def profiler():
     return _profiler
 
 
+def alert_engine():
+    """The process-wide alert engine (None unless telemetry is armed)."""
+    return _alerts
+
+
+def finalize_telemetry():
+    """Close out telemetry: record end-of-run facts, run ``at_end`` rules.
+
+    Stamps each telemetry session's unfinished-span count into its
+    timeline (series ``obs.unfinished_spans`` at the session's final
+    virtual time), then finalizes the alert engine.  Returns the engine
+    (None when telemetry was never armed).  Idempotent via the engine.
+    """
+    if _alerts is None:
+        return None
+    for obs in _sessions:
+        if obs.timeline is not None:
+            obs.timeline.record("obs.unfinished_spans", obs.sim.now,
+                                obs.tracer.unfinished_count())
+    return _alerts.finalize()
+
+
 def reset():
     """Disarm and forget everything (the CLI's finally-block)."""
-    global _config, _profiler, _label_prefix
+    global _config, _profiler, _alerts, _label_prefix
+    if _alerts is not None:
+        _alerts.unwatch_all()
     _config = None
     _profiler = None
+    _alerts = None
     _label_prefix = ""
     _sessions.clear()
     _label_counts.clear()

@@ -31,14 +31,22 @@ def kernel_logs(kernel):
 
 
 class Obs:
-    """One run's observability context (tracing + metrics)."""
+    """One run's observability context (tracing + metrics + telemetry).
 
-    def __init__(self, sim, label="", tracing=True):
+    ``timeline`` is the optional virtual-time series store
+    (:class:`~repro.obs.timeline.Timeline`): None unless telemetry was
+    armed, so sampler sites inside the ``sim.obs`` guard pay exactly one
+    extra branch when a session exists without telemetry — and a run with
+    no session at all still pays only the one branch it always did.
+    """
+
+    def __init__(self, sim, label="", tracing=True, timeline=None):
         self.sim = sim
         self.label = label
         self.tracer = Tracer(sim)
         self.tracer.enabled = tracing
         self.metrics = MetricsRegistry()
+        self.timeline = timeline
         self.kernel = None
 
     def install(self):

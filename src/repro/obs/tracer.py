@@ -176,6 +176,10 @@ class Tracer:
     def open_spans(self):
         return [span for span in self.spans if not span.closed]
 
+    def unfinished_count(self):
+        """Spans still open right now — at trace end, each is a finding."""
+        return sum(1 for span in self.spans if span.end is None)
+
     def find(self, name=None, cat=None):
         """Closed-or-open spans matching a name and/or category."""
         return [

@@ -227,6 +227,14 @@ class PowerCapController:
                 obs.metrics.set("powercap.{}.grant_w".format(node), grant)
                 obs.metrics.observe("powercap.{}.measured_w".format(node),
                                     measured[node], weight=dt_s)
+                timeline = obs.timeline
+                if timeline is not None:
+                    timeline.record("powercap.leaf_level", t1, state.level,
+                                    leaf=node)
+                    timeline.record("powercap.leaf_grant_w", t1, grant,
+                                    leaf=node)
+                    timeline.record("powercap.leaf_measured_w", t1,
+                                    measured[node], leaf=node)
         self.telemetry.record(
             t1, root.name, aggregate, root.cap_w, "aggregate", 0.0
         )
@@ -234,6 +242,15 @@ class PowerCapController:
             obs.metrics.set("powercap.aggregate_w", aggregate)
             obs.tracer.sample("powercap.aggregate_w", track="powercap",
                               watts=round(aggregate, 4))
+            timeline = obs.timeline
+            if timeline is not None:
+                timeline.record("powercap.aggregate_w", t1, aggregate)
+                if root.cap_w is not None:
+                    timeline.record("powercap.cap_w", t1, root.cap_w)
+                    timeline.record(
+                        "powercap.compliance_err", t1,
+                        (aggregate - root.cap_w) / root.cap_w
+                        if root.cap_w else 0.0)
             obs.tracer.end(tick_span, aggregate_w=round(aggregate, 4),
                            cap_w=root.cap_w)
 

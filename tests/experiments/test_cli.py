@@ -82,3 +82,53 @@ def test_run_every_experiment(name, capsys):
         pytest.skip("set PSBOX_SMOKE_ALL=1 to smoke-run every experiment")
     assert main([name]) == 0
     assert name in capsys.readouterr().out
+
+
+def test_cluster_telemetry_report_writes_the_bundle(tmp_path, capsys,
+                                                    monkeypatch):
+    """The tentpole surface end to end: ``cluster --telemetry --report``."""
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    out_dir = tmp_path / "tele"
+    assert main(["cluster", "--nodes", "2", "--telemetry", str(out_dir),
+                 "--report", "--bench", str(tmp_path / "bench.json")]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry:" in out
+    assert "SLO report" in out
+
+    # OpenMetrics: valid terminator, per-session cluster series
+    om = (out_dir / "metrics.om").read_text()
+    assert om.endswith("# EOF\n")
+    assert 'cluster_aggregate_w{session="cluster/waterfill"}' in om
+    assert 'session="cluster/pi"' in om
+
+    # JSONL series: every line parses; per-epoch cluster series present
+    lines = (out_dir / "series.jsonl").read_text().splitlines()
+    docs = [json.loads(line) for line in lines]
+    by_series = {(d["session"], d["series"]) for d in docs}
+    assert ("cluster/waterfill", "cluster.compliance_err") in by_series
+    assert ("cluster/pi", "cluster.node_power_w") in by_series
+    assert ("cluster", "placement.drop_rate") in by_series
+
+    # merged trace: every session is its own pid track
+    trace = json.loads((out_dir / "trace.json").read_text())
+    names = {e["args"]["name"] for e in trace["traceEvents"]
+             if e.get("name") == "process_name"}
+    assert {"cluster", "cluster/waterfill", "cluster/pi",
+            "cal/node00", "cal/node01"} <= names
+    assert any(name.startswith("waterfill/node") for name in names)
+
+    # structured alert summary
+    report = json.loads((out_dir / "report.json").read_text())
+    assert set(report) == {"ok", "rules", "alerts", "counts"}
+    assert {rule["name"] for rule in report["rules"]} >= {"cap.compliance"}
+
+
+def test_report_implies_telemetry(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["sec63", "--report"]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry:" in out
+    assert (tmp_path / "telemetry" / "metrics.om").exists()
+    assert (tmp_path / "telemetry" / "report.json").exists()

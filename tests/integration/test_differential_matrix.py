@@ -3,7 +3,8 @@
 One table, every observability/fault layering the engine's hot path has to
 keep bit-identical, on every workload family:
 
-    {tracer off, tracer on, profiler on, faults installed-but-disabled}
+    {tracer off, tracer on, profiler on, telemetry on,
+     faults installed-but-disabled}
                 x {mixed board, powercap board, 2-node cluster}
 
 Each cell runs the workload with that layer attached and asserts the
@@ -27,17 +28,19 @@ from repro.cluster import (
     USERS_PER_INSTANCE,
     Cluster,
     ClusterConfig,
+    ClusterTelemetry,
     ClusterTopology,
     WaterFillingAllocator,
     WorkloadSpec,
 )
 from repro.experiments.faults_exp import build_workload
 from repro.faults import SCENARIOS, fingerprint
-from repro.obs import Obs
+from repro.obs import AlertEngine, Obs, Timeline
 from repro.obs import runtime as obs_runtime
 from repro.obs.profiler import EventLoopProfiler
 
-VARIANTS = ("tracer-off", "tracer-on", "profiler-on", "faults-installed")
+VARIANTS = ("tracer-off", "tracer-on", "profiler-on", "telemetry-on",
+            "faults-installed")
 WORKLOADS = ("mixed", "powercap", "cluster")
 
 CLUSTER_HORIZON_S = 0.6
@@ -63,6 +66,12 @@ def _run_board(workload, variant):
         Obs(sim, tracing=True).install().bind_kernel(work.kernel)
     elif variant == "profiler-on":
         EventLoopProfiler().install(sim)
+    elif variant == "telemetry-on":
+        # the full stack: tracer + timeline + a live alert engine
+        # evaluating every sample as it streams off the board
+        obs = Obs(sim, tracing=True, timeline=Timeline()).install()
+        obs.bind_kernel(work.kernel)
+        AlertEngine().watch(obs)
     elif variant == "faults-installed":
         _disabled_plan(sim, workload)
     elif variant != "baseline":
@@ -99,14 +108,23 @@ def _run_cluster(variant):
         obs_runtime.configure(tracing=True, metrics=True, profiling=False)
     elif variant == "profiler-on":
         obs_runtime.configure(tracing=False, metrics=False, profiling=True)
+    elif variant == "telemetry-on":
+        # full stack on every node *and* the cap loop itself: per-session
+        # timelines, cluster epoch samplers, the process alert engine
+        obs_runtime.configure(tracing=True, metrics=True, profiling=False,
+                              telemetry=True)
     try:
         topo, by_node, config = _cluster_setup()
+        telemetry = (ClusterTelemetry.for_runtime(label="cap-loop")
+                     if variant == "telemetry-on" else None)
         cluster = Cluster(topo, by_node, WaterFillingAllocator(), config,
-                          seed=5)
+                          seed=5, telemetry=telemetry)
         if variant == "faults-installed":
             for node in cluster.nodes:
                 _disabled_plan(node.platform.sim, "mixed")
         cluster.run()
+        if variant == "telemetry-on":
+            obs_runtime.finalize_telemetry()
         combined = hashlib.sha256()
         for node in cluster.nodes:
             combined.update(node.name.encode())

@@ -19,6 +19,8 @@ from repro.obs import (
     format_metrics_table,
     metrics_snapshot,
 )
+from repro.obs.exporters import export_timeline_jsonl, timeline_jsonl_lines
+from repro.obs.timeline import Timeline
 from repro.sim.engine import Simulator
 
 
@@ -150,6 +152,34 @@ def test_metrics_snapshot_merges_sessions(tmp_path):
 def test_format_metrics_table_empty():
     assert "no metrics" in format_metrics_table(
         {"merged": {"counters": {}, "gauges": {}, "histograms": {}}})
+
+
+def test_metrics_snapshot_counts_unfinished_spans():
+    a, b = _session_with_activity(), _session_with_activity()
+    snap = metrics_snapshot([a, b])
+    # each hand-built session leaks exactly one detached span ("leak")
+    assert [s["unfinished_spans"] for s in snap["sessions"]] == [1, 1]
+    assert snap["unfinished_spans"] == 2
+
+
+def test_timeline_jsonl_dump(tmp_path):
+    sim = Simulator(0)
+    obs = Obs(sim, label="tl", timeline=Timeline(capacity=2)).install()
+    bare = Obs(Simulator(0), label="bare").install()   # no timeline: skipped
+    for i in range(3):
+        obs.timeline.record("power.w", i * 100, float(i), node="n0")
+    obs.timeline.record("users", 50, 7.0)
+    lines = timeline_jsonl_lines([obs, bare])
+    docs = [json.loads(line) for line in lines]
+    assert [d["series"] for d in docs] == ["power.w", "users"]
+    power = docs[0]
+    assert power["session"] == "tl"
+    assert power["labels"] == {"node": "n0"}
+    assert power["points"] == [[100, 1.0], [200, 2.0]]   # ring kept last 2
+    assert power["dropped"] == 1
+    path = tmp_path / "series.jsonl"
+    assert export_timeline_jsonl([obs, bare], str(path)) == 2
+    assert path.read_text().count("\n") == 2
 
 
 # -- the differential promise -------------------------------------------------------

@@ -119,3 +119,42 @@ def test_snapshot_shape():
     # The snapshot must be JSON-serializable as-is.
     import json
     json.dumps(snap)
+
+
+def test_quantile_validates_q_even_when_empty():
+    h = Histogram("h")
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    assert h.quantile(0.5) is None      # empty is None, AFTER validation
+
+
+def test_quantile_cache_invalidated_by_observe():
+    h = Histogram("h")
+    h.observe(10.0)
+    assert h.quantile(0.5) == 10.0
+    h.observe(1.0)
+    h.observe(2.0)
+    assert h.quantile(0.0) == 1.0       # stale cache would still say 10
+    assert h.quantile(1.0) == 10.0
+
+
+def test_quantile_cache_invalidated_by_merge():
+    a, b = Histogram("a"), Histogram("b")
+    a.observe(5.0)
+    assert a.quantile(0.5) == 5.0       # populate the cache
+    b.observe(50.0)
+    a.merge_from(b)
+    assert a.quantile(1.0) == 50.0
+
+
+def test_quantile_repeated_calls_reuse_one_sort():
+    h = Histogram("h")
+    for v in (3.0, 1.0, 2.0):
+        h.observe(v)
+    first = h.quantile(0.5)
+    assert h._sorted is not None
+    cached = h._sorted
+    assert h.quantile(0.5) == first
+    assert h._sorted is cached          # no re-sort between observes
