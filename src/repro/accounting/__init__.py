@@ -20,6 +20,7 @@ can undo power entanglement, which is the point of Section 2.3.
 from repro.accounting.base import UsageExtractor, bin_step_trace
 from repro.accounting.display import PixelAccounting
 from repro.accounting.even_split import EvenSplitAccounting
+from repro.accounting.incident import attribute_window, hold_resample, top_entity
 from repro.accounting.last_trigger import LastTriggerAccounting
 from repro.accounting.model_metering import LinearPowerModel
 from repro.accounting.per_sample import PerSampleUsageAccounting
@@ -35,5 +36,8 @@ __all__ = [
     "ShapleyAccounting",
     "UsageExtractor",
     "UtilizationAccounting",
+    "attribute_window",
     "bin_step_trace",
+    "hold_resample",
+    "top_entity",
 ]

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 from repro.sim.clock import from_msec
 from repro.check.report import CheckReport, CheckViolation, Violation
+from repro.obs import flight
 
 SERVE = "serve"
 
@@ -139,6 +140,8 @@ class InvariantChecker:
                                event=event, message=message)
             obs.metrics.inc("check.violations")
             obs.metrics.inc("check.violations." + invariant)
+        if flight._recorder is not None:
+            flight._recorder.on_violation(violation, sim=self.sim)
         if self.strict:
             raise CheckViolation(violation)
 

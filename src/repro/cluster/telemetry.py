@@ -30,6 +30,7 @@ cluster runs fingerprint bit-identical to bare ones (the differential
 matrix's telemetry column).
 """
 
+from repro.obs import flight
 from repro.obs import runtime as obs_runtime
 from repro.obs.session import Obs
 from repro.obs.timeline import Timeline
@@ -133,6 +134,8 @@ class ClusterTelemetry:
         obs = self.obs
         t1 = int(t1_ns)
         self.clock.now = t1
+        if flight._recorder is not None:
+            flight._recorder.note_cluster(nodes)
         budget = record.budget_w
         err = ((record.aggregate_w - budget) / budget) if budget else 0.0
         obs.metrics.inc("cluster.epochs")

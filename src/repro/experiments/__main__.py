@@ -21,6 +21,16 @@ completed cells on re-runs::
 
     python -m repro.experiments faults --seeds 25 --jobs 8
     python -m repro.experiments sweep --jobs 4 --cache .parcache
+
+When something goes wrong, the flight recorder and the explain engine
+turn alerts into root-cause incident reports::
+
+    python -m repro.experiments cluster --telemetry --flight
+                            # black-box dumps under ./flight/ on any
+                            # fired alert or invariant violation
+    python -m repro.experiments explain telemetry   # or a flight dump
+                            # incidents.json / incidents.txt /
+                            # incident_trace.json next to the evidence
 """
 
 import argparse
@@ -358,6 +368,14 @@ def main(argv=None):
     parser.add_argument("--report", action="store_true",
                         help="print the SLO/alert report after the run "
                              "(implies --telemetry)")
+    parser.add_argument("--flight", nargs="?", const="flight",
+                        metavar="DIR",
+                        help="arm the flight recorder (implies --telemetry): "
+                             "a bounded black box that dumps a self-contained "
+                             "JSON snapshot under DIR (default ./flight) "
+                             "whenever an alert fires or an invariant "
+                             "violation is recorded; feed the dumps to the "
+                             "'explain' subcommand")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="fan independent cells across N processes "
                              "(faults, sweep); output is byte-identical to "
@@ -387,6 +405,11 @@ def main(argv=None):
     if args.list or not args.names:
         print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
         return 0
+    if args.names[0] == "explain":
+        if len(args.names) < 2:
+            parser.error("explain needs a telemetry bundle or flight dump "
+                         "path (e.g. 'explain telemetry')")
+        return run_explain(args.names[1:])
     if args.names == ["all"]:
         # "all" already covers every cell the sweep would run
         names = sorted(name for name in EXPERIMENTS if name != "sweep")
@@ -396,7 +419,7 @@ def main(argv=None):
         if name not in EXPERIMENTS:
             parser.error("unknown experiment {!r} (try --list)".format(name))
 
-    if args.report and args.telemetry is None:
+    if (args.report or args.flight is not None) and args.telemetry is None:
         args.telemetry = "telemetry"
     observing = bool(args.trace or args.metrics or args.profile is not None
                      or args.telemetry is not None)
@@ -417,6 +440,8 @@ def main(argv=None):
             metrics=True,
             profiling=args.profile is not None,
             telemetry=args.telemetry is not None,
+            flight=args.flight is not None,
+            flight_dir=args.flight,
         )
     try:
         for name in names:
@@ -473,6 +498,7 @@ def _export_telemetry(args, sessions):
 
     from repro.obs import (
         export_chrome_trace,
+        export_events_jsonl,
         export_openmetrics,
         export_timeline_jsonl,
     )
@@ -484,6 +510,7 @@ def _export_telemetry(args, sessions):
     series = export_timeline_jsonl(sessions, os.path.join(out,
                                                           "series.jsonl"))
     events = export_chrome_trace(sessions, os.path.join(out, "trace.json"))
+    export_events_jsonl(sessions, os.path.join(out, "events.jsonl"))
     summary = engine.summary() if engine is not None else {
         "ok": True, "rules": 0, "alerts": [], "counts": {}}
     with open(os.path.join(out, "report.json"), "w") as handle:
@@ -491,8 +518,35 @@ def _export_telemetry(args, sessions):
         handle.write("\n")
     print("telemetry: {} metric families, {} series, {} trace events "
           "-> {}/".format(families, series, events, out))
+    recorder = obs_runtime.flight_recorder()
+    if recorder is not None:
+        dumps = recorder.flush()
+        print("flight: {} dump(s){} -> {}/".format(
+            dumps,
+            " (+{} suppressed)".format(recorder.suppressed)
+            if recorder.suppressed else "",
+            recorder.out_dir or "(memory)"))
     if args.report and engine is not None:
         print(engine.format_report())
+
+
+def run_explain(paths):
+    """The explain subcommand: evidence in, incident reports out."""
+    import os
+
+    from repro.obs import explain as explain_mod
+
+    for path in paths:
+        evidence = explain_mod.load(path)
+        report = explain_mod.explain(evidence)
+        out_dir = path if os.path.isdir(path) else (
+            os.path.dirname(path) or ".")
+        json_path, _text, trace_path = explain_mod.write_reports(
+            report, out_dir)
+        print(explain_mod.format_incidents(report))
+        print("explain: {} incident(s) -> {} (+ overlay {})".format(
+            len(report["incidents"]), json_path, trace_path))
+    return 0
 
 
 if __name__ == "__main__":

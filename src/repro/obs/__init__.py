@@ -13,16 +13,21 @@ or, from the command line::
     python -m repro.experiments fig6 --trace t.json --metrics m.json
 """
 
+from repro.obs import explain, flight
 from repro.obs.alerts import Alert, AlertEngine, AlertRule, default_rules
+from repro.obs.explain import format_incidents, render_json
 from repro.obs.exporters import (
     chrome_trace_events,
+    events_jsonl_lines,
     export_chrome_trace,
+    export_events_jsonl,
     export_metrics,
     export_timeline_jsonl,
     format_metrics_table,
     metrics_snapshot,
     timeline_jsonl_lines,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.openmetrics import (
     export_openmetrics,
@@ -49,13 +54,20 @@ __all__ = [
     "AlertRule",
     "default_rules",
     "EventLoopProfiler",
+    "FlightRecorder",
     "chrome_trace_events",
+    "events_jsonl_lines",
+    "explain",
+    "flight",
     "export_chrome_trace",
+    "export_events_jsonl",
     "export_metrics",
     "export_openmetrics",
     "export_timeline_jsonl",
+    "format_incidents",
     "metrics_snapshot",
     "openmetrics_lines",
+    "render_json",
     "render_openmetrics",
     "timeline_jsonl_lines",
     "format_metrics_table",

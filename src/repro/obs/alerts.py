@@ -25,6 +25,7 @@ Semantics:
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
+from repro.obs import flight
 from repro.obs.timeline import canonical_labels
 
 #: supported rule conditions: value `op` threshold
@@ -166,9 +167,14 @@ class AlertEngine:
         """Stream ``obs.timeline`` samples through the rules; returns self.
 
         Sessions without a timeline are ignored (nothing to evaluate).
+        Idempotent per session: re-watching an already-watched session
+        must not stack a second subscriber (each extra subscriber would
+        double-count streaks and fire every rule twice).
         """
         timeline = getattr(obs, "timeline", None)
         if timeline is None:
+            return self
+        if any(watched is obs for watched, _tl, _fn in self._watched):
             return self
 
         def on_sample(series, t_ns, value, _obs=obs):
@@ -213,6 +219,8 @@ class AlertEngine:
             tracer.instant("alert." + rule.name, cat="alert", track="alerts",
                            severity=rule.severity, series=series.key,
                            value=round(value, 6))
+        if flight._recorder is not None:
+            flight._recorder.on_alert(self.alerts[-1], obs=obs, engine=self)
 
     def finalize(self):
         """Run the ``at_end`` rules against each series' last sample.

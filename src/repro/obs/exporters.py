@@ -168,10 +168,11 @@ def timeline_jsonl_lines(sessions):
 
     Each line carries the session label, the series name and labels, the
     retained ``[t_ns, value]`` points (oldest first), and the ring's
-    dropped-sample count — so a consumer can both replay the window and
-    know exactly how much history it is missing.  Sessions keep boot
-    order; series within a session are sorted by (name, labels), so the
-    dump is deterministic.
+    dropped- and disordered-sample counts — so a consumer can both replay
+    the window and know exactly how much history it is missing (and
+    whether any sampler fed it out of order).  Sessions keep boot order;
+    series within a session are sorted by (name, labels), so the dump is
+    deterministic.
     """
     lines = []
     for obs in sessions:
@@ -184,6 +185,7 @@ def timeline_jsonl_lines(sessions):
                 "series": series.name,
                 "labels": dict(series.labels),
                 "dropped": series.dropped,
+                "disordered": series.disordered,
                 "points": [[t, v] for t, v in series.points()],
             }, sort_keys=True))
     return lines
@@ -192,6 +194,50 @@ def timeline_jsonl_lines(sessions):
 def export_timeline_jsonl(sessions, path):
     """Write the JSONL time-series dump; returns the number of series."""
     lines = timeline_jsonl_lines(sessions)
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+    return len(lines)
+
+
+# -- discrete events: actuator actions + fault injections --------------------------
+
+
+def events_jsonl_lines(sessions):
+    """One JSON document per line: actuator actions and fault injections.
+
+    The timeline dump carries the continuous signals; this surface carries
+    the discrete causes — every retained powercap actuator decision
+    (``kind: "action"``, from each kernel's
+    :class:`~repro.powercap.telemetry.TelemetryRing`) and every fault the
+    installed :class:`~repro.faults.plan.FaultPlan` injected
+    (``kind: "inject"``).  The explain engine joins these against breached
+    series windows to name *why* an alert fired.  Order is deterministic:
+    sessions in boot order, each session's rings oldest-first.
+    """
+    lines = []
+    for obs in sessions:
+        kernel = getattr(obs, "kernel", None)
+        controller = getattr(kernel, "powercap", None)
+        if controller is not None:
+            for entry in controller.telemetry.records():
+                doc = dict(entry, session=obs.label, kind="action")
+                doc["t_ns"] = doc.pop("t")
+                lines.append(json.dumps(doc, sort_keys=True))
+        plan = getattr(obs.sim, "faults", None)
+        if plan is not None:
+            for t, kind, payload in plan.log:
+                if kind != "inject":
+                    continue
+                doc = dict(payload, session=obs.label, kind="inject", t_ns=t)
+                lines.append(json.dumps(doc, sort_keys=True, default=str))
+    return lines
+
+
+def export_events_jsonl(sessions, path):
+    """Write the discrete-event JSONL dump; returns the line count."""
+    lines = events_jsonl_lines(sessions)
     with open(path, "w") as handle:
         for line in lines:
             handle.write(line)

@@ -149,6 +149,8 @@ def openmetrics_lines(sessions):
                 fam.add(fam.name, base + series.labels, last[1])
             fam = family("repro.timeline.dropped_samples", "counter")
             fam.add(fam.name + "_total", base, timeline.total_dropped())
+            fam = family("repro.timeline.disordered_samples", "counter")
+            fam.add(fam.name + "_total", base, timeline.total_disordered())
 
     lines = []
     for name in sorted(families):

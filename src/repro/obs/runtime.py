@@ -15,6 +15,7 @@ Telemetry adds two shared pieces: every installed session gets its own
 ``--report`` covers a whole cluster of sessions.
 """
 
+from repro.obs import flight as flight_mod
 from repro.obs.profiler import EventLoopProfiler
 from repro.obs.session import Obs
 from repro.obs.timeline import Timeline
@@ -31,12 +32,16 @@ TIMELINE_CAPACITY = 4096
 
 
 def configure(tracing=False, metrics=True, profiling=False, telemetry=False,
-              rules=None):
+              rules=None, flight=False, flight_dir=None):
     """Arm observability for every simulator booted from now on.
 
     ``telemetry=True`` attaches a :class:`Timeline` to each session and
     stands up the process-wide alert engine with ``rules`` (default:
-    :func:`repro.obs.alerts.default_rules`).
+    :func:`repro.obs.alerts.default_rules`).  ``flight=True`` additionally
+    arms a process-global :class:`~repro.obs.flight.FlightRecorder` over
+    all installed sessions (dumps to ``flight_dir`` when given, in-memory
+    otherwise) — snapshots fire from the alert engine and the invariant
+    checker.
     """
     global _config, _alerts
     _config = {"tracing": tracing, "metrics": metrics,
@@ -45,6 +50,9 @@ def configure(tracing=False, metrics=True, profiling=False, telemetry=False,
         from repro.obs.alerts import AlertEngine
 
         _alerts = AlertEngine(rules)
+    if flight:
+        flight_mod.arm(flight_mod.FlightRecorder(
+            out_dir=flight_dir, sessions=sessions))
 
 
 def is_active():
@@ -127,11 +135,17 @@ def finalize_telemetry():
     return _alerts.finalize()
 
 
+def flight_recorder():
+    """The armed flight recorder (None unless ``--flight`` configured it)."""
+    return flight_mod.active()
+
+
 def reset():
     """Disarm and forget everything (the CLI's finally-block)."""
     global _config, _profiler, _alerts, _label_prefix
     if _alerts is not None:
         _alerts.unwatch_all()
+    flight_mod.disarm()
     _config = None
     _profiler = None
     _alerts = None

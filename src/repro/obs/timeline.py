@@ -35,7 +35,8 @@ def canonical_labels(labels):
 class Series:
     """One labeled series: a bounded ring of ``(t_ns, value)`` samples."""
 
-    __slots__ = ("name", "labels", "capacity", "dropped", "_points")
+    __slots__ = ("name", "labels", "capacity", "dropped", "disordered",
+                 "_points")
 
     def __init__(self, name, labels=(), capacity=4096):
         if capacity < 1:
@@ -44,13 +45,24 @@ class Series:
         self.labels = canonical_labels(dict(labels))
         self.capacity = capacity
         self.dropped = 0
+        self.disordered = 0
         self._points = deque(maxlen=capacity)
 
     def append(self, t_ns, value):
-        """Record one sample; evicts the oldest when the ring is full."""
-        if len(self._points) == self.capacity:
-            self.dropped += 1
-        self._points.append((int(t_ns), float(value)))
+        """Record one sample; evicts the oldest when the ring is full.
+
+        Samples are expected in nondecreasing virtual-time order; an
+        out-of-order timestamp is still kept (the sampler knows best)
+        but counted in ``disordered`` — a miswired sampler shows up in
+        the exports instead of silently corrupting window queries.
+        """
+        t_ns = int(t_ns)
+        if self._points:
+            if len(self._points) == self.capacity:
+                self.dropped += 1
+            if t_ns < self._points[-1][0]:
+                self.disordered += 1
+        self._points.append((t_ns, float(value)))
 
     def points(self):
         """The retained ``(t_ns, value)`` samples, oldest first."""
@@ -133,6 +145,9 @@ class Timeline:
 
     def total_dropped(self):
         return sum(series.dropped for series in self._series.values())
+
+    def total_disordered(self):
+        return sum(series.disordered for series in self._series.values())
 
     def __len__(self):
         return len(self._series)

@@ -19,6 +19,7 @@ regulated to the cap, not just the sum of the managed apps.
 from dataclasses import dataclass, field
 
 from repro.core.manager import PsboxManager
+from repro.obs import flight
 from repro.powercap.telemetry import TelemetryRing
 from repro.sim.clock import from_msec
 
@@ -80,6 +81,9 @@ class PowerCapController:
         self._trim_w = 0.0       # outer integrator on the aggregate error
         self._proc = None
         self.ticks = 0
+        # Backref so offline consumers (events export, flight snapshots)
+        # can find this kernel's actuator-decision ring from its session.
+        kernel.powercap = self
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -143,6 +147,10 @@ class PowerCapController:
         cfg = self.config
         dt_s = (t1 - t0) / 1e9
         obs = self.sim.obs
+        if flight._recorder is not None:
+            flight._recorder.note_ring(
+                self.telemetry,
+                obs.label if obs is not None else self.tree.root.name)
         tick_span = None
         if obs is not None:
             tick_span = obs.tracer.begin(

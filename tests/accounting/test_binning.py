@@ -76,3 +76,35 @@ def test_bin_means_bounded_by_signal_range(tr, dt):
     if len(out):
         assert out.min() >= -1e-12
         assert out.max() <= 2.0 + 1e-12
+
+
+@st.composite
+def random_float_traces(draw):
+    """Arbitrary-valued step traces with steps landing anywhere."""
+    tr = StepTrace(draw(st.floats(0.0, 10.0)))
+    t = 0
+    for _ in range(draw(st.integers(0, 20))):
+        t += draw(st.integers(1, 700))
+        tr.set(t, draw(st.floats(-5.0, 10.0)))
+    return tr
+
+
+@given(random_float_traces(),
+       st.integers(1, 211),
+       st.integers(0, 2000),
+       st.integers(1, 40))
+@settings(max_examples=80, deadline=None)
+def test_binning_conserves_integral_anywhere(tr, dt, t0, n_bins):
+    """Binned energy == exact StepTrace.integrate over any aligned span.
+
+    This is the invariant the explain engine's incident-window
+    attribution rests on: whatever bin width and offset the window picks,
+    the per-bin means must redistribute the signal's integral exactly —
+    float values, negative excursions, steps mid-bin, nonzero t0 and all.
+    """
+    t1 = t0 + n_bins * dt
+    out = bin_step_trace(tr, t0, t1, dt)
+    assert len(out) == n_bins
+    assert float(out.sum()) * dt == pytest.approx(
+        tr.integrate(t0, t1), rel=1e-9, abs=1e-6
+    )

@@ -1,0 +1,85 @@
+"""Offline incident-window attribution over exported point series."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.incident import (
+    POLICIES,
+    attribute_window,
+    hold_resample,
+    top_entity,
+)
+
+
+class TestHoldResample:
+    def test_empty_series_is_zero(self):
+        assert np.allclose(hold_resample([], [0, 10, 20]), 0.0)
+
+    def test_previous_hold_semantics(self):
+        points = [(10, 1.0), (20, 2.0)]
+        out = hold_resample(points, [5, 10, 15, 20, 99])
+        assert np.allclose(out, [0.0, 1.0, 1.0, 2.0, 2.0])
+
+    def test_before_first_sample_reads_zero(self):
+        assert hold_resample([(100, 5.0)], [99])[0] == 0.0
+
+
+class TestAttributeWindow:
+    def test_proportional_split_and_ranking(self):
+        total = [(0, 3.0)]
+        entities = {
+            "small": [(0, 1.0)],
+            "big": [(0, 2.0)],
+        }
+        out = attribute_window(total, entities, 0, 1_000_000_000, n_bins=10)
+        ranked = out["policies"]["per_sample"]
+        assert [row["entity"] for row in ranked] == ["big", "small"]
+        assert ranked[0]["share"] == pytest.approx(2 / 3, abs=1e-6)
+        # 3 W for 1 s = 3 J split 2:1
+        assert ranked[0]["energy_j"] == pytest.approx(2.0, abs=1e-6)
+        assert ranked[1]["energy_j"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_every_policy_present(self):
+        out = attribute_window([(0, 1.0)], {"a": [(0, 1.0)]}, 0, 100)
+        assert set(out["policies"]) == set(POLICIES)
+
+    def test_empty_window_or_entities(self):
+        out = attribute_window([(0, 1.0)], {}, 0, 100)
+        assert out["bins"] == 0
+        assert all(v == [] for v in out["policies"].values())
+        out = attribute_window([(0, 1.0)], {"a": [(0, 1.0)]}, 100, 100)
+        assert out["bins"] == 0
+
+    def test_deterministic_tie_break_by_name(self):
+        total = [(0, 2.0)]
+        entities = {"b": [(0, 1.0)], "a": [(0, 1.0)]}
+        ranked = attribute_window(total, entities, 0, 1000)["policies"][
+            "per_sample"]
+        assert [row["entity"] for row in ranked] == ["a", "b"]
+
+    def test_top_entity(self):
+        out = attribute_window([(0, 3.0)],
+                               {"x": [(0, 2.0)], "y": [(0, 1.0)]}, 0, 1000)
+        assert top_entity(out) == "x"
+        assert top_entity({"policies": {}}) is None
+
+    def test_even_split_ignores_magnitude(self):
+        total = [(0, 4.0)]
+        entities = {"x": [(0, 3.0)], "y": [(0, 1.0)]}
+        ranked = attribute_window(total, entities, 0, 1000)["policies"][
+            "even_split"]
+        assert ranked[0]["share"] == pytest.approx(0.5, abs=1e-6)
+        assert ranked[1]["share"] == pytest.approx(0.5, abs=1e-6)
+
+    def test_last_trigger_charges_most_recent_user(self):
+        # x idles halfway through and y takes over; last-trigger hands
+        # the second half of the window (and the tail) entirely to y
+        total = [(0, 1.0)]
+        entities = {"x": [(0, 1.0), (500, 0.0)], "y": [(500, 1.0)]}
+        out = attribute_window(total, entities, 0, 1000, n_bins=10)
+        ranked = {row["entity"]: row
+                  for row in out["policies"]["last_trigger"]}
+        assert ranked["y"]["energy_j"] == pytest.approx(0.5e-6, rel=1e-6)
+        # the whole window (1 W over 1000 ns = 1e-6 J) is attributed
+        assert (ranked["x"]["energy_j"] + ranked["y"]["energy_j"]
+                == pytest.approx(1e-6, rel=1e-6))

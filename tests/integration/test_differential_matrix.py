@@ -4,7 +4,7 @@ One table, every observability/fault layering the engine's hot path has to
 keep bit-identical, on every workload family:
 
     {tracer off, tracer on, profiler on, telemetry on,
-     faults installed-but-disabled}
+     flight recorder armed, faults installed-but-disabled}
                 x {mixed board, powercap board, 2-node cluster}
 
 Each cell runs the workload with that layer attached and asserts the
@@ -35,12 +35,12 @@ from repro.cluster import (
 )
 from repro.experiments.faults_exp import build_workload
 from repro.faults import SCENARIOS, fingerprint
-from repro.obs import AlertEngine, Obs, Timeline
+from repro.obs import AlertEngine, FlightRecorder, Obs, Timeline, flight
 from repro.obs import runtime as obs_runtime
 from repro.obs.profiler import EventLoopProfiler
 
 VARIANTS = ("tracer-off", "tracer-on", "profiler-on", "telemetry-on",
-            "faults-installed")
+            "flight-on", "faults-installed")
 WORKLOADS = ("mixed", "powercap", "cluster")
 
 CLUSTER_HORIZON_S = 0.6
@@ -66,18 +66,24 @@ def _run_board(workload, variant):
         Obs(sim, tracing=True).install().bind_kernel(work.kernel)
     elif variant == "profiler-on":
         EventLoopProfiler().install(sim)
-    elif variant == "telemetry-on":
+    elif variant in ("telemetry-on", "flight-on"):
         # the full stack: tracer + timeline + a live alert engine
-        # evaluating every sample as it streams off the board
+        # evaluating every sample as it streams off the board — and, for
+        # flight-on, an armed recorder snapshotting on every fired alert
         obs = Obs(sim, tracing=True, timeline=Timeline()).install()
         obs.bind_kernel(work.kernel)
         AlertEngine().watch(obs)
+        if variant == "flight-on":
+            flight.arm(FlightRecorder(sessions=[obs]))
     elif variant == "faults-installed":
         _disabled_plan(sim, workload)
     elif variant != "baseline":
         raise AssertionError(variant)
-    sim.run(until=work.horizon_ns)
-    return fingerprint(work.platform, work.kernel)
+    try:
+        sim.run(until=work.horizon_ns)
+        return fingerprint(work.platform, work.kernel)
+    finally:
+        flight.disarm()
 
 
 def _cluster_setup():
@@ -108,22 +114,24 @@ def _run_cluster(variant):
         obs_runtime.configure(tracing=True, metrics=True, profiling=False)
     elif variant == "profiler-on":
         obs_runtime.configure(tracing=False, metrics=False, profiling=True)
-    elif variant == "telemetry-on":
+    elif variant in ("telemetry-on", "flight-on"):
         # full stack on every node *and* the cap loop itself: per-session
-        # timelines, cluster epoch samplers, the process alert engine
+        # timelines, cluster epoch samplers, the process alert engine —
+        # flight-on additionally arms the in-memory recorder, so every
+        # fired alert snapshots mid-run through the live hooks
         obs_runtime.configure(tracing=True, metrics=True, profiling=False,
-                              telemetry=True)
+                              telemetry=True, flight=variant == "flight-on")
     try:
         topo, by_node, config = _cluster_setup()
         telemetry = (ClusterTelemetry.for_runtime(label="cap-loop")
-                     if variant == "telemetry-on" else None)
+                     if variant in ("telemetry-on", "flight-on") else None)
         cluster = Cluster(topo, by_node, WaterFillingAllocator(), config,
                           seed=5, telemetry=telemetry)
         if variant == "faults-installed":
             for node in cluster.nodes:
                 _disabled_plan(node.platform.sim, "mixed")
         cluster.run()
-        if variant == "telemetry-on":
+        if variant in ("telemetry-on", "flight-on"):
             obs_runtime.finalize_telemetry()
         combined = hashlib.sha256()
         for node in cluster.nodes:

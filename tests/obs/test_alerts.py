@@ -202,6 +202,32 @@ class TestReporting:
         engine.watch(obs)
         assert engine._watched == []
 
+    def test_repeated_watch_does_not_stack_subscribers(self):
+        # Regression: a second watch() on the same session used to add a
+        # second subscriber, so every sample streamed through the rules
+        # twice — a for_samples=2 rule then fired on a SINGLE breaching
+        # sample (streak counted 2), and alerts were double-evaluated.
+        rule = AlertRule("hot", series="w", op=">", threshold=1.0,
+                         for_samples=2)
+        obs, engine = make_session(rules=[rule])
+        engine.watch(obs)          # re-watch: must be a no-op
+        engine.watch(obs)
+        assert len(engine._watched) == 1
+        obs.timeline.record("w", 0, 2.0)
+        assert engine.alerts == []     # one sample is NOT a streak of 2
+        obs.timeline.record("w", 1, 2.0)
+        assert len(engine.alerts) == 1
+
+    def test_unwatch_all_then_rewatch_single_subscription(self):
+        rule = AlertRule("hot", series="w", op=">", threshold=1.0)
+        obs, engine = make_session(rules=[rule])
+        engine.unwatch_all()
+        engine.watch(obs)
+        engine.watch(obs)
+        obs.timeline.record("w", 0, 2.0)
+        assert len(engine.alerts) == 1     # fired once, not per-subscriber
+        assert len(obs.timeline._subscribers) == 1
+
 
 class TestDefaultRules:
     def test_cover_the_documented_slos(self):

@@ -177,9 +177,20 @@ def test_timeline_jsonl_dump(tmp_path):
     assert power["labels"] == {"node": "n0"}
     assert power["points"] == [[100, 1.0], [200, 2.0]]   # ring kept last 2
     assert power["dropped"] == 1
+    assert power["disordered"] == 0
+    assert docs[1]["disordered"] == 0
     path = tmp_path / "series.jsonl"
     assert export_timeline_jsonl([obs, bare], str(path)) == 2
     assert path.read_text().count("\n") == 2
+
+
+def test_timeline_jsonl_reports_disordered_appends():
+    obs = Obs(Simulator(0), label="tl", timeline=Timeline()).install()
+    obs.timeline.record("s", 100, 1.0)
+    obs.timeline.record("s", 40, 2.0)    # out of order: kept, but counted
+    doc = json.loads(timeline_jsonl_lines([obs])[0])
+    assert doc["disordered"] == 1
+    assert doc["points"] == [[100, 1.0], [40, 2.0]]
 
 
 # -- the differential promise -------------------------------------------------------

@@ -130,7 +130,8 @@ class TestDocument:
         families, samples = parse(render_openmetrics([a, b]))
         assert families == {"events": "counter", "watts": "gauge",
                             "cap_w": "gauge",
-                            "repro_timeline_dropped_samples": "counter"}
+                            "repro_timeline_dropped_samples": "counter",
+                            "repro_timeline_disordered_samples": "counter"}
         table = {(name, tuple(sorted(labels.items()))): value
                  for name, labels, value in samples}
         assert table[("events_total", (("session", "a"),))] == 7.0
@@ -177,3 +178,15 @@ class TestDocument:
         _families, samples = parse(render_openmetrics([obs]))
         table = {name: value for name, _l, value in samples}
         assert table["repro_timeline_dropped_samples_total"] == 3.0
+        assert table["repro_timeline_disordered_samples_total"] == 0.0
+
+    def test_disordered_samples_counter_reflects_ring(self):
+        obs = make_session(timeline=True)
+        obs.timeline.record("s", 100, 1.0)
+        obs.timeline.record("s", 50, 2.0)      # out of order
+        obs.timeline.record("t", 10, 1.0)
+        obs.timeline.record("t", 5, 1.0)       # out of order
+        obs.timeline.record("t", 1, 1.0)       # and again
+        _families, samples = parse(render_openmetrics([obs]))
+        table = {name: value for name, _l, value in samples}
+        assert table["repro_timeline_disordered_samples_total"] == 3.0

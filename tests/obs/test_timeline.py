@@ -48,6 +48,23 @@ class TestSeries:
         assert series.last() is None
         assert series.points() == []
         assert series.dropped == 0
+        assert series.disordered == 0
+
+    def test_out_of_order_append_counted_not_discarded(self):
+        series = Series("s")
+        series.append(100, 1.0)
+        series.append(50, 2.0)     # out of order
+        series.append(50, 2.5)     # equal timestamps are in order
+        series.append(40, 3.0)     # out of order again
+        assert series.disordered == 2
+        assert len(series) == 4    # the samples themselves are kept
+
+    def test_monotone_appends_never_count_as_disordered(self):
+        series = Series("s", capacity=3)
+        for i in range(10):
+            series.append(i, float(i))
+        assert series.disordered == 0
+        assert series.dropped == 7
 
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
@@ -91,6 +108,15 @@ class TestTimeline:
         series = timeline.series("s")
         assert series.dropped == 2
         assert timeline.total_dropped() == 2
+
+    def test_total_disordered_sums_series(self):
+        timeline = Timeline()
+        timeline.record("a", 10, 1.0)
+        timeline.record("a", 5, 1.0)
+        timeline.record("b", 10, 1.0, node="n0")
+        timeline.record("b", 4, 1.0, node="n0")
+        timeline.record("b", 3, 1.0, node="n0")
+        assert timeline.total_disordered() == 3
 
     def test_subscribers_see_every_sample(self):
         timeline = Timeline()
