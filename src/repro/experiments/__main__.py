@@ -195,7 +195,7 @@ def run_cluster(args=None):
     bench = getattr(args, "bench", None) if args is not None else None
     result, runner = _run(
         nodes=nodes if nodes else DEFAULT_NODES,
-        jobs=jobs, cache=cache,
+        jobs=jobs, cache=cache, backend=_backend(args),
         obs_metrics=obs_runtime.is_active() and jobs > 1,
     )
     print(format_table(
@@ -236,7 +236,12 @@ def _result_cache(args):
         return None
     from repro.par import ResultCache
 
-    return ResultCache(args.cache)
+    return ResultCache(args.cache,
+                       remote=getattr(args, "cache_remote", None))
+
+
+def _backend(args):
+    return getattr(args, "backend", "auto") if args is not None else "auto"
 
 
 def _print_par_stats(runner, jobs, cache):
@@ -287,7 +292,7 @@ def run_faults(args=None):
     else:
         seeds = [0]
     campaigns, runner = run_faults_parallel(
-        seeds, jobs=jobs, cache=cache,
+        seeds, jobs=jobs, cache=cache, backend=_backend(args),
         obs_metrics=obs_runtime.is_active() and jobs > 1,
     )
     if len(campaigns) == 1:
@@ -308,6 +313,7 @@ def run_sweep(args=None):
     try:
         payloads, runner = _run(
             only.split(",") if only else None, jobs=jobs, cache=cache,
+            backend=_backend(args),
             obs_metrics=obs_runtime.is_active() and jobs > 1,
         )
     except ValueError as exc:
@@ -384,6 +390,17 @@ def main(argv=None):
                         help="content-addressed result cache for parallel "
                              "cells (faults, sweep); invalidated by any "
                              "repro source change")
+    parser.add_argument("--cache-remote", metavar="DIR|URL",
+                        help="read-through remote cache tier: a directory "
+                             "or http(s)/file URL serving the same layout; "
+                             "remote hits are written back into --cache")
+    parser.add_argument("--backend",
+                        choices=["auto", "inline", "thread", "spawn",
+                                 "socket"],
+                        default="auto",
+                        help="execution backend for parallel cells "
+                             "(default auto: cost-model selection between "
+                             "inline and a spawn pool)")
     parser.add_argument("--seeds", type=int, default=None, metavar="N",
                         help="faults soak mode: run N seeds drawn from "
                              "--entropy")

@@ -273,16 +273,17 @@ def campaign_items(seeds, scenarios=SCENARIOS):
 
 
 def run_faults_parallel(seeds, jobs=1, cache=None, scenarios=SCENARIOS,
-                        obs_metrics=False):
+                        obs_metrics=False, backend="auto"):
     """The scenario matrix at many seeds, fanned across ``jobs`` processes.
 
     Cells are bit-reproducible and the merge orders by shard key, so the
     returned campaigns are identical to ``[run_faults(s) for s in seeds]``
-    no matter the job count or cache state.  Returns
+    no matter the job count, backend, or cache state.  Returns
     ``(campaigns, runner)`` — the runner carries stats and the aggregated
     per-worker obs metrics.
     """
-    runner = ParallelRunner(jobs=jobs, cache=cache, obs_metrics=obs_metrics)
+    runner = ParallelRunner(jobs=jobs, cache=cache, obs_metrics=obs_metrics,
+                            backend=backend)
     payloads = runner.run(campaign_items(seeds, scenarios))
     per_seed = len(scenarios)
     campaigns = [
@@ -329,6 +330,12 @@ def main(argv=None):
                         help="content-addressed result cache: completed "
                              "cells are skipped on re-runs (invalidated by "
                              "any repro source change)")
+    parser.add_argument("--backend",
+                        choices=["auto", "inline", "thread", "spawn",
+                                 "socket"],
+                        default="auto",
+                        help="execution backend for the cells (default "
+                             "auto: cost-model selection)")
     args = parser.parse_args(argv)
     try:
         args.jobs = effective_jobs(args.jobs)
@@ -339,7 +346,8 @@ def main(argv=None):
              if args.seeds is not None else [args.seed])
     cache = ResultCache(args.cache) if args.cache else None
     campaigns, runner = run_faults_parallel(seeds, jobs=args.jobs,
-                                            cache=cache)
+                                            cache=cache,
+                                            backend=args.backend)
     failed = 0
     for campaign in campaigns:
         failed += len(campaign.mismatches)

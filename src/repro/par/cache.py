@@ -10,7 +10,17 @@ behaviour can depend on any module the simulation transitively imports.
 
 Entries are one JSON file per cell under ``root/<experiment>/<kk>/<key>.json``
 (two-level fan-out keeps directories small on big sweeps); writes go through
-a temp file + rename so a killed soak never leaves a torn entry behind.
+a temp file + rename so a killed soak never leaves a torn entry behind, and
+entries are chmodded to umask-respecting permissions — ``mkstemp`` files are
+0600, which in a cache directory shared across users would read as permanent
+misses for everyone but the writer.
+
+A cache can also mount a **read-through remote tier**: a second directory
+(NFS mount, rsync'd mirror) or an HTTP(S)/file URL prefix serving the same
+layout.  A local miss consults the remote; a remote hit is written back into
+the local tier atomically, so the next lookup is local.  This is how a warm
+campaign cache is shared across hosts — and how the psbox-as-a-service
+daemon (ROADMAP item 4) will serve one.
 """
 
 import hashlib
@@ -26,8 +36,15 @@ MISS = object()
 
 
 def config_hash(config):
-    """Canonical sha256 of a JSON-able config dict (key order immaterial)."""
-    canon = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    """Canonical sha256 of a JSON-able config dict (key order immaterial).
+
+    Strict JSON only: ``allow_nan=False`` makes NaN/Infinity configs an
+    error here instead of serialising as repr-dependent non-RFC tokens
+    that silently fork cache keys (:class:`~repro.par.shard.WorkItem`
+    rejects them earlier, at construction, with the cell identity).
+    """
+    canon = json.dumps(config, sort_keys=True, separators=(",", ":"),
+                       allow_nan=False)
     return hashlib.sha256(canon.encode()).hexdigest()
 
 
@@ -58,13 +75,34 @@ def code_fingerprint():
     return _CODE_FINGERPRINT
 
 
-class ResultCache:
-    """Filesystem-backed cache of finished cell payloads."""
+def umask_chmod(path):
+    """Give ``path`` the 0666-minus-umask mode a plain ``open`` would.
 
-    def __init__(self, root, fingerprint=None):
+    ``tempfile.mkstemp`` deliberately creates 0600 files; entries that
+    keep that mode are unreadable to every other user of a shared cache
+    directory, which reads as a permanent miss.
+    """
+    umask = os.umask(0)
+    os.umask(umask)
+    os.chmod(path, 0o666 & ~umask)
+
+
+class ResultCache:
+    """Filesystem-backed cache of finished cell payloads.
+
+    ``remote`` is an optional second tier consulted on local misses: a
+    directory path, or a ``file://`` / ``http(s)://`` URL prefix serving
+    the same ``<experiment>/<kk>/<key>.json`` layout.  Remote hits are
+    written back into the local tier (atomically, like any put) so they
+    are local from then on; remote failures of any kind read as misses.
+    """
+
+    def __init__(self, root, fingerprint=None, remote=None):
         self.root = root
         self.fingerprint = fingerprint or code_fingerprint()
+        self.remote = remote
         self.hits = 0
+        self.remote_hits = 0
         self.misses = 0
         self.writes = 0
 
@@ -76,17 +114,21 @@ class ResultCache:
         ))
         return hashlib.sha256(material.encode()).hexdigest()
 
-    def path_for(self, item):
+    def rel_path_for(self, item):
+        """The entry's path relative to either tier's root."""
         key = self.key_for(item)
-        return os.path.join(self.root, item.experiment, key[:2],
-                            key + ".json")
+        return os.path.join(item.experiment, key[:2], key + ".json")
+
+    def path_for(self, item):
+        return os.path.join(self.root, self.rel_path_for(item))
 
     def get(self, item):
         """The cached payload, or :data:`MISS` (counts a hit or a miss).
 
         Any unreadable entry — absent, torn JSON, or a JSON value that is
         not an object carrying ``"payload"`` — reads as a miss; the cell
-        simply re-runs and rewrites it.
+        simply re-runs and rewrites it.  On a local miss the remote tier
+        (when mounted) is consulted and a hit is written back locally.
         """
         path = self.path_for(item)
         try:
@@ -94,15 +136,57 @@ class ResultCache:
                 entry = json.load(handle)
             payload = entry["payload"]
         except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
-            return MISS
+            return self._get_remote(item)
         self.hits += 1
         return payload
 
+    def _get_remote(self, item):
+        """The remote tier's answer to a local miss (write-back on hit)."""
+        entry = (self._fetch_remote(self.rel_path_for(item))
+                 if self.remote else None)
+        try:
+            payload = entry["payload"]
+        except (KeyError, TypeError):
+            self.misses += 1
+            return MISS
+        self._write_entry(self.path_for(item), entry)
+        self.remote_hits += 1
+        return payload
+
+    def _fetch_remote(self, rel_path):
+        """The remote entry as a parsed dict, or ``None`` on any failure."""
+        try:
+            if "://" in self.remote:
+                from urllib.request import urlopen
+
+                url = "/".join([self.remote.rstrip("/")]
+                               + rel_path.split(os.sep))
+                with urlopen(url, timeout=10) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            with open(os.path.join(self.remote, rel_path)) as handle:
+                return json.load(handle)
+        except Exception:
+            return None    # unreachable/absent/torn remote reads as a miss
+
+    def _write_entry(self, path, entry):
+        """Atomic, umask-respecting entry write (put and remote write-back)."""
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            umask_chmod(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
     def put(self, item, payload):
         """Store a finished cell atomically (temp file + rename)."""
-        path = self.path_for(item)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
         entry = {
             # the payload is all get() returns; the rest is for humans
             # poking at the cache directory
@@ -111,20 +195,9 @@ class ResultCache:
             "config": dict(item.config),
             "payload": payload,
         }
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self._write_entry(self.path_for(item), entry)
         self.writes += 1
 
     def stats(self):
-        return {"hits": self.hits, "misses": self.misses,
-                "writes": self.writes}
+        return {"hits": self.hits, "remote_hits": self.remote_hits,
+                "misses": self.misses, "writes": self.writes}

@@ -1,0 +1,19 @@
+"""The zero-overhead backend: run every cell in this process, in order.
+
+No pool, no spawn boot, no pickling — the exact code path a serial run
+takes, wrapped in the executor event stream.  This is what ``auto``
+selects on one-core hosts and for workloads too small to amortise a
+worker interpreter boot (BENCH_par.json's parallel-slower-than-serial
+regression); it is also why cells run here register with the *parent's*
+``repro.obs`` runtime and ship no per-cell metrics snapshots.
+"""
+
+from repro.par.executors.base import Executor, run_cell_event
+
+
+class InlineExecutor(Executor):
+    name = "inline"
+
+    def run(self, specs):
+        for spec in specs:
+            yield run_cell_event(spec)

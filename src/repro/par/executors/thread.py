@@ -1,0 +1,52 @@
+"""The thread-pool backend: work-stealing threads in one interpreter.
+
+``jobs`` threads pull cells off a shared :class:`CellQueue` and push
+events as each cell finishes.  Threads share the interpreter, so there
+is no spawn boot and nothing crosses a process boundary — but the GIL
+serialises pure-Python simulation work, so this backend only wins when
+cells release the GIL (I/O-bound cells, native extensions); ``auto``
+never selects it, it is an explicit choice.  Cells run in the parent
+process, so an armed observability runtime sees them directly (no
+per-cell metrics snapshots, same as inline).
+"""
+
+import queue
+import threading
+
+from repro.par.executors.base import CellQueue, Executor, run_cell_event
+
+
+class ThreadExecutor(Executor):
+    name = "thread"
+
+    def run(self, specs):
+        specs = list(specs)
+        if not specs:
+            return
+        cells = CellQueue(specs)
+        events = queue.Queue()
+
+        def pull_loop():
+            while True:
+                spec = cells.steal()
+                if spec is None:
+                    return
+                try:
+                    events.put(run_cell_event(spec))
+                except BaseException as exc:  # surfaced in the main thread
+                    events.put(exc)
+                    return
+
+        threads = [threading.Thread(target=pull_loop, daemon=True)
+                   for _ in range(min(self.jobs, len(specs)))]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(len(specs)):
+                event = events.get()
+                if isinstance(event, BaseException):
+                    raise event
+                yield event
+        finally:
+            for thread in threads:
+                thread.join()

@@ -1,16 +1,24 @@
-"""The process-pool experiment runner.
+"""The parallel experiment runner over pluggable executor backends.
 
 ``ParallelRunner.run(items)`` fans a work-list of independent simulation
-cells across ``jobs`` spawn-started processes and returns their payloads
-*in work-list order* — the merge sorts by shard key, never completion
-order, so with deterministic cells the output is byte-identical to a
-serial run (``jobs=1`` executes the very same cell code path in-process,
-no pool at all).
+cells across an :mod:`executor backend <repro.par.executors>` and returns
+their payloads *in work-list order* — the merge sorts by shard key, never
+completion order, so with deterministic cells the output is byte-identical
+to a serial run whatever the backend.
+
+The default backend is ``auto``: inline (no pool, zero overhead) unless
+the host has spare cores *and* the persisted cost model projects that the
+parallel saving clears the spawn-boot bill — the measured-cost answer to
+BENCH_par.json's parallel-slower-than-serial regression.  Scheduling is
+work-stealing everywhere (workers pull cells one at a time from a shared
+queue), so a skewed cell no longer strands the fast workers the old
+round-robin shard plan pinned behind it.
 
 A :class:`~repro.par.cache.ResultCache` short-circuits completed cells
-before anything is dispatched: resumed soaks and repeated sweeps only pay
-for the cells they have not seen.  Fresh results are written back after the
-pool drains.
+before anything is dispatched, and fresh results are *streamed* back:
+each cell is persisted the moment it finishes, so a failure late in the
+run no longer discards the completed cells — failed cells are collected
+and reported together, with their identities, at the end.
 """
 
 import os
@@ -19,9 +27,11 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.par.cache import MISS
+from repro.par.cost import shared_model
+from repro.par.executors import BACKENDS, choose_backend, make_executor
 from repro.par.metrics import merge_snapshots
-from repro.par.shard import merge_results, plan_shards
-from repro.par.worker import run_shard, worker_init
+from repro.par.shard import merge_results
+from repro.par.worker import CellError
 
 
 def effective_jobs(requested, cpu_count=None, stream=None):
@@ -55,46 +65,58 @@ class RunStats:
     cells: int = 0
     cached: int = 0
     executed: int = 0
+    failed: int = 0
     jobs: int = 1
-    shards: int = 0
+    backend: str = "inline"      # the backend that actually ran (post-auto)
     wall_s: float = 0.0
     cell_wall_s: float = 0.0     # summed per-cell time (the serial cost)
     cache: dict = field(default_factory=dict)
 
     def summary(self):
-        line = ("par: {0.cells} cells, {0.cached} cached, {0.executed} "
-                "executed across {0.shards} shards on {0.jobs} jobs, "
+        line = ("par[{0.backend}]: {0.cells} cells, {0.cached} cached, "
+                "{0.executed} executed on {0.jobs} jobs, "
                 "wall {0.wall_s:.2f}s (serial cost {0.cell_wall_s:.2f}s)"
                 .format(self))
+        if self.failed:
+            line += " — {} FAILED".format(self.failed)
         if self.cells and self.cached == self.cells:
             line += " — all cells cached"
         return line
 
 
 class ParallelRunner:
-    """Fan a work-list across processes; merge deterministically."""
+    """Fan a work-list across an executor backend; merge deterministically."""
 
     def __init__(self, jobs=1, cache=None, obs_metrics=False,
-                 oversubscribe=4):
+                 backend="auto"):
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got {}".format(jobs))
+        if backend != "auto" and backend not in BACKENDS:
+            raise ValueError("unknown backend {!r} (available: {})".format(
+                backend, ", ".join(sorted(BACKENDS) + ["auto"])))
         self.jobs = jobs
         self.cache = cache
         self.obs_metrics = obs_metrics
-        self.oversubscribe = oversubscribe
+        self.backend = backend
         self.stats = RunStats(jobs=jobs)
         #: merged per-worker ``repro.obs`` metrics (subprocess runs only;
         #: in-process cells register with the parent's runtime directly)
         self.obs_snapshot = None
 
     def run(self, items):
-        """Execute every cell; returns payloads ordered by work-list index."""
+        """Execute every cell; returns payloads ordered by work-list index.
+
+        Completed cells are cached as they finish.  If any cell fails, the
+        remaining cells still run, every completed cell is persisted, and
+        one :class:`CellError` naming each failed cell is raised at the
+        end — a single bad cell no longer discards the whole run.
+        """
         items = list(items)
         start = perf_counter()
         self.stats = RunStats(jobs=self.jobs, cells=len(items))
         self.obs_snapshot = None
 
-        indexed = []      # (index, payload) from cache and pool alike
+        indexed = []      # (index, payload) from cache and executor alike
         todo = []
         for item in items:
             payload = self.cache.get(item) if self.cache else MISS
@@ -105,60 +127,54 @@ class ParallelRunner:
         self.stats.cached = len(indexed)
         self.stats.executed = len(todo)
 
+        cost = shared_model(self.cache)
+        backend = self.backend
+        if backend == "auto":
+            estimate = (cost.estimate(todo[0].experiment)
+                        if todo else None)
+            backend = choose_backend(len(todo), self.jobs,
+                                     est_cell_s=estimate)
+        self.stats.backend = backend
+
+        failures = []
         by_index = {item.index: item for item in todo}
-        shards = plan_shards(todo, self.jobs,
-                             oversubscribe=self.oversubscribe)
-        self.stats.shards = len(shards)
-        if self.jobs == 1 or len(shards) <= 1:
-            shard_results = [run_shard([item.spec() for item in shard])
-                             for shard in shards]
-        else:
-            shard_results = self._run_pool(shards)
-
-        metric_snaps = []
-        for result in shard_results:
-            for cell in result["cells"]:
+        metric_snaps = {}
+        if todo:
+            executor = make_executor(backend,
+                                     jobs=min(self.jobs, len(todo)),
+                                     obs_metrics=self.obs_metrics)
+            for event in executor.run([item.spec() for item in todo]):
+                if not event["ok"]:
+                    failures.append((event["index"], event["error"]))
+                    continue
+                cell = event["cell"]
                 index = cell["index"]
-                payload = cell["payload"]
                 self.stats.cell_wall_s += cell["wall_s"]
-                indexed.append((index, payload))
+                cost.observe(by_index[index].experiment, cell["wall_s"])
+                indexed.append((index, cell["payload"]))
                 if self.cache is not None:
-                    self.cache.put(by_index[index], payload)
-            if result["metrics"] is not None:
-                metric_snaps.append(result["metrics"])
+                    # streamed write-back: a later failure cannot lose it
+                    self.cache.put(by_index[index], cell["payload"])
+                if event.get("metrics"):
+                    metric_snaps[index] = event["metrics"]
         if metric_snaps:
-            self.obs_snapshot = merge_snapshots(metric_snaps)
+            # merge in index order so last-writer gauges stay deterministic
+            self.obs_snapshot = merge_snapshots(
+                [metric_snaps[index] for index in sorted(metric_snaps)])
+        cost.save()
 
+        self.stats.failed = len(failures)
         if self.cache is not None:
             self.stats.cache = self.cache.stats()
         self.stats.wall_s = perf_counter() - start
+        if failures:
+            failures.sort()
+            completed = self.stats.executed - len(failures)
+            persisted = (" {} completed cell(s) persisted to the result "
+                         "cache;".format(completed) if self.cache is not None
+                         else "")
+            raise CellError(
+                "{} of {} executed cell(s) failed;{} failures:\n{}".format(
+                    len(failures), self.stats.executed, persisted,
+                    "\n".join("  " + error for _index, error in failures)))
         return merge_results(indexed, len(items))
-
-    def _run_pool(self, shards):
-        """Dispatch shards to a spawn pool; results come back per shard."""
-        from concurrent.futures import ProcessPoolExecutor
-        from multiprocessing import get_context
-
-        # Whatever path the parent imported repro from must be visible to
-        # the spawned interpreter too (PYTHONPATH=src runs, editable
-        # installs from a different cwd, ...).
-        import repro
-
-        package_parent = os.path.dirname(
-            os.path.dirname(os.path.abspath(repro.__file__)))
-        path_entries = [package_parent] + [
-            entry for entry in sys.path if entry]
-
-        workers = min(self.jobs, len(shards))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=get_context("spawn"),
-            initializer=worker_init,
-            initargs=(path_entries, self.obs_metrics),
-        ) as pool:
-            futures = [pool.submit(run_shard,
-                                   [item.spec() for item in shard])
-                       for shard in shards]
-            # Collect in submission (shard) order: results land whenever,
-            # but gauge last-writer merges stay deterministic this way.
-            return [future.result() for future in futures]

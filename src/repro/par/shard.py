@@ -1,14 +1,16 @@
-"""Work items and the shard scheduler.
+"""Work items and the deterministic merge.
 
 A parallel run is a flat list of :class:`WorkItem` cells — one independent
-(experiment, seed, config) simulation each.  The scheduler's only job is to
-split that list into shards for the worker pool; the *merge* is where
-determinism lives: results are reassembled by each item's ``index`` (its
-position in the original work-list, the shard key), never by completion
-order, so a parallel run is byte-identical to the serial one no matter how
-the pool interleaves.
+(experiment, seed, config) simulation each.  Scheduling is the executor
+backends' business (workers *pull* cells from a shared queue — see
+:mod:`repro.par.executors` — which replaced the old round-robin shard
+plan); the *merge* is where determinism lives: results are reassembled by
+each item's ``index`` (its position in the original work-list, the shard
+key), never by completion order, so a parallel run is byte-identical to
+the serial one no matter how any backend interleaves.
 """
 
+import json
 from dataclasses import dataclass, field
 
 
@@ -17,10 +19,15 @@ class WorkItem:
     """One independent simulation cell.
 
     ``runner`` names a module-level function as ``"package.module:func"``;
-    spawn-started workers import it by name, so nothing but primitives ever
-    crosses the process boundary.  The function is called as
+    pool and socket workers import it by name, so nothing but primitives
+    ever crosses the process boundary.  The function is called as
     ``func(seed, config)`` and must return a JSON-serialisable payload
     (that is also what the result cache stores).
+
+    ``config`` must be *strict* JSON — NaN/Infinity values serialise as
+    repr-dependent non-RFC tokens that would silently fork cache keys and
+    confuse remote workers, so they are rejected here, at construction,
+    with the cell identity in the error.
     """
 
     experiment: str          # campaign name ("faults", "sweep", ...)
@@ -28,6 +35,16 @@ class WorkItem:
     seed: int
     config: dict = field(default_factory=dict)   # JSON-able cell parameters
     index: int = 0           # position in the work-list == the shard key
+
+    def __post_init__(self):
+        try:
+            json.dumps(self.config, sort_keys=True, allow_nan=False)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                "WorkItem config for ({!r}, seed={}) is not strict JSON "
+                "(NaN/Infinity and non-JSON types are rejected because "
+                "they fork cache keys): {}".format(
+                    self.experiment, self.seed, exc)) from exc
 
     def spec(self):
         """The picklable/JSON-able wire form workers receive."""
@@ -49,33 +66,13 @@ def work_list(experiment, runner, cells):
     ]
 
 
-def plan_shards(items, jobs, oversubscribe=4):
-    """Split ``items`` into round-robin shards for a ``jobs``-worker pool.
-
-    Round-robin interleaving spreads adjacent cells — which tend to share a
-    cost profile (same scenario at different seeds) — across shards, and
-    oversubscribing the pool (more shards than workers) lets fast workers
-    pick up extra shards instead of idling behind a slow one.  The shard
-    layout affects wall-clock only; the merge reorders by item index.
-    """
-    if jobs < 1:
-        raise ValueError("jobs must be >= 1, got {}".format(jobs))
-    n_shards = min(len(items), max(1, jobs) * max(1, oversubscribe))
-    if n_shards <= 1:
-        return [list(items)] if items else []
-    shards = [[] for _ in range(n_shards)]
-    for position, item in enumerate(items):
-        shards[position % n_shards].append(item)
-    return shards
-
-
 def merge_results(indexed_payloads, n_items):
     """Order payloads by shard key; completion order never leaks through.
 
     ``indexed_payloads`` is an iterable of ``(index, payload)`` in *any*
-    order (the pool's completion order).  Raises if a cell is missing or
-    duplicated — a partial merge silently reordering would defeat the
-    bit-identity guarantee.
+    order (whatever steal order the backend's workers produced).  Raises
+    if a cell is missing or duplicated — a partial merge silently
+    reordering would defeat the bit-identity guarantee.
     """
     slots = [None] * n_items
     seen = [False] * n_items

@@ -45,3 +45,11 @@ def sim_cell(seed, config):
 def boom_cell(seed, config):
     """Always raises; error-path coverage."""
     raise RuntimeError("boom (seed={})".format(seed))
+
+
+def mixed_cell(seed, config):
+    """Raises for seeds listed in ``config["boom_seeds"]``; succeeds
+    otherwise — partial-failure coverage for the streaming runner."""
+    if seed in config.get("boom_seeds", ()):
+        raise RuntimeError("boom (seed={})".format(seed))
+    return {"seed": seed, "value": seed * seed}

@@ -35,7 +35,7 @@ def test_worker_boot_is_bit_identical_to_parent_boot(parent_fingerprints):
         "diff", "repro.experiments.faults_exp:fingerprint_cell",
         [(seed, {"workload": "mixed"}) for seed in (0, 1)],
     )
-    payloads = ParallelRunner(jobs=2, oversubscribe=1).run(items)
+    payloads = ParallelRunner(jobs=2, backend="spawn").run(items)
     assert payloads[0]["fingerprint"] == parent_fingerprints[0]
     assert payloads[1]["fingerprint"] == parent_fingerprints[1]
 

@@ -70,14 +70,16 @@ def test_parallel_equals_serial():
 
 def test_merge_ignores_completion_order():
     """Cells sleep in *reverse* index order, so completion order inverts the
-    work-list; the merge must still return index order."""
+    work-list; the merge must still return index order.  The thread
+    backend genuinely completes out of order (sleep releases the GIL)."""
     items = work_list(
         "demo", "repro.par.testing:sleep_cell",
         [(seed, {"s": 0.15 - 0.04 * seed}) for seed in range(4)],
     )
-    runner = ParallelRunner(jobs=4, oversubscribe=1)
+    runner = ParallelRunner(jobs=4, backend="thread")
     payloads = runner.run(items)
     assert [p["seed"] for p in payloads] == [0, 1, 2, 3]
+    assert runner.stats.backend == "thread"
 
 
 def test_cache_skips_completed_cells(tmp_path):
@@ -123,7 +125,32 @@ def test_cell_error_propagates_from_pool():
     items = work_list("demo", "repro.par.testing:boom_cell",
                       [(seed, {}) for seed in range(2)])
     with pytest.raises(CellError, match="boom"):
-        ParallelRunner(jobs=2, oversubscribe=1).run(items)
+        ParallelRunner(jobs=2, backend="spawn").run(items)
+
+
+def test_failed_cells_no_longer_discard_completed_ones(tmp_path):
+    """The PR 10 bugfix: completed cells are persisted as they finish and
+    every failed cell is reported, with its identity, in one error."""
+    items = work_list("demo", "repro.par.testing:mixed_cell",
+                      [(seed, {"boom_seeds": [1, 3]})
+                       for seed in range(5)])
+    cache = ResultCache(str(tmp_path))
+    runner = ParallelRunner(jobs=1, cache=cache)
+    with pytest.raises(CellError) as excinfo:
+        runner.run(items)
+    message = str(excinfo.value)
+    assert "2 of 5 executed cell(s) failed" in message
+    assert "3 completed cell(s) persisted to the result cache" in message
+    assert "seed=1" in message and "seed=3" in message
+    assert runner.stats.failed == 2
+    assert cache.writes == 3
+
+    # the replay only pays for the failed cells
+    retry = ParallelRunner(jobs=1, cache=ResultCache(str(tmp_path)))
+    with pytest.raises(CellError):
+        retry.run(items)
+    assert retry.stats.cached == 3
+    assert retry.stats.executed == 2
 
 
 def test_invalid_runner_spec():
@@ -137,7 +164,7 @@ def test_invalid_runner_spec():
 def test_worker_obs_metrics_aggregate():
     items = work_list("demo", "repro.par.testing:sim_cell",
                       [(seed, {"horizon_ns": 50_000}) for seed in range(4)])
-    runner = ParallelRunner(jobs=2, obs_metrics=True)
+    runner = ParallelRunner(jobs=2, obs_metrics=True, backend="spawn")
     payloads = runner.run(items)
     assert [p["fired"] for p in payloads] == [51] * 4
     snap = runner.obs_snapshot

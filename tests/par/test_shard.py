@@ -1,10 +1,13 @@
-"""Unit tests for work items, the shard planner, and the merge."""
+"""Unit tests for work items, the steal queue, and the merge."""
+
+import math
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.par import WorkItem, merge_results, plan_shards, work_list
+from repro.par import WorkItem, merge_results, work_list
+from repro.par.executors import CellQueue
 
 
 def _items(n):
@@ -29,33 +32,35 @@ def test_spec_is_primitive():
     assert item.config["x"] == 1
 
 
-def test_plan_shards_partitions_exactly():
-    items = _items(23)
-    shards = plan_shards(items, jobs=4)
-    flattened = sorted((item.index for shard in shards for item in shard))
-    assert flattened == list(range(23))
-    assert len(shards) <= 4 * 4
+def test_work_item_rejects_nan_and_infinity_configs():
+    """NaN/Infinity serialise as non-RFC repr tokens that would silently
+    fork cache keys; the error must carry the cell identity."""
+    for bad in (math.nan, math.inf, -math.inf):
+        with pytest.raises(ValueError, match=r"\('t', seed=3\)"):
+            WorkItem("t", "m:f", seed=3, config={"x": bad})
+    with pytest.raises(ValueError, match="strict JSON"):
+        WorkItem("t", "m:f", seed=0, config={"nested": {"y": [math.nan]}})
 
 
-def test_plan_shards_round_robin_interleaves():
-    items = _items(8)
-    shards = plan_shards(items, jobs=2, oversubscribe=2)
-    assert len(shards) == 4
-    assert [item.index for item in shards[0]] == [0, 4]
-    assert [item.index for item in shards[1]] == [1, 5]
+def test_work_item_rejects_non_json_configs():
+    with pytest.raises(ValueError, match="strict JSON"):
+        WorkItem("t", "m:f", seed=0, config={"obj": object()})
 
 
-def test_plan_shards_single_job_single_shard():
-    items = _items(5)
-    shards = plan_shards(items, jobs=1, oversubscribe=1)
-    assert len(shards) == 1
-    assert [item.index for item in shards[0]] == [0, 1, 2, 3, 4]
+def test_cell_queue_steals_fifo_and_drains():
+    queue = CellQueue([{"index": i} for i in range(4)])
+    assert len(queue) == 4
+    assert [queue.steal()["index"] for _ in range(4)] == [0, 1, 2, 3]
+    assert queue.steal() is None
+    assert len(queue) == 0
 
 
-def test_plan_shards_empty_and_invalid():
-    assert plan_shards([], jobs=4) == []
-    with pytest.raises(ValueError):
-        plan_shards(_items(3), jobs=0)
+def test_cell_queue_push_back_goes_to_the_front():
+    """A dead worker's in-flight cell is retried before new work."""
+    queue = CellQueue([{"index": 0}, {"index": 1}])
+    first = queue.steal()
+    queue.push_back(first)
+    assert queue.steal()["index"] == 0
 
 
 def test_merge_orders_by_index_not_arrival():
@@ -72,12 +77,28 @@ def test_merge_rejects_missing_duplicate_and_stray():
         merge_results([(5, "a")], 2)
 
 
-@given(st.integers(min_value=0, max_value=200),
-       st.integers(min_value=1, max_value=16),
-       st.integers(min_value=1, max_value=8))
-def test_plan_shards_property_exact_partition(n, jobs, oversubscribe):
-    items = _items(n)
-    shards = plan_shards(items, jobs, oversubscribe=oversubscribe)
-    flattened = sorted(item.index for shard in shards for item in shard)
-    assert flattened == list(range(n))
-    assert all(shard for shard in shards)
+@given(st.lists(st.integers(), min_size=0, max_size=64), st.randoms())
+def test_property_steal_order_never_leaks_through_merge(payloads, rng):
+    """The work-stealing scheduler completes cells in an arbitrary order
+    (worker speed, host count, queue contention); whatever permutation
+    arrives, the merge must return exactly the work-list order."""
+    indexed = list(enumerate(payloads))
+    rng.shuffle(indexed)
+    assert merge_results(indexed, len(payloads)) == payloads
+
+
+@given(st.integers(min_value=0, max_value=128), st.randoms())
+def test_property_interleaved_steals_partition_exactly(n, rng):
+    """However many workers steal, every cell is handed out exactly once
+    — push-backs included."""
+    queue = CellQueue([{"index": i} for i in range(n)])
+    taken = []
+    while True:
+        spec = queue.steal()
+        if spec is None:
+            break
+        if rng.random() < 0.2:      # a worker "dies" and requeues
+            queue.push_back(spec)
+            continue
+        taken.append(spec["index"])
+    assert sorted(taken) == list(range(n))
